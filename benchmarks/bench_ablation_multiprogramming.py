@@ -1,0 +1,77 @@
+"""Ablation (Sections 3 and 5): multiprogrammed CPU contention.
+
+Paper, Section 3: "if there is contention for the processor or the I/O
+system as, for example, with a multithreaded server or in a
+multiprogrammed environment, then speculative execution will have less
+opportunity to improve performance."
+
+We run the speculating Agrep alone and alongside a compute-bound process:
+under strict priorities, any runnable original thread preempts the
+speculating thread, so hint generation loses its stall-time cycles.
+"""
+
+from conftest import banner, once
+
+from repro.apps.agrep import AgrepWorkload, build_agrep
+from repro.fs.filesystem import FileSystem
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import build_system
+from repro.spechint.tool import SpecHintTool
+from repro.vm.assembler import Assembler
+from repro.vm.isa import SYS_EXIT, Reg
+
+
+def spinner_binary(iterations=3_000):
+    asm = Assembler("spinner")
+    asm.entry("main")
+    with asm.function("main"):
+        asm.li(Reg.s0, 0)
+        asm.label("spin")
+        asm.li(Reg.at, iterations)
+        asm.bge(Reg.s0, Reg.at, "done")
+        asm.cwork(50_000, 0, 0)
+        asm.addi(Reg.s0, Reg.s0, 1)
+        asm.jmp("spin")
+        asm.label("done")
+        asm.li(Reg.a0, 0)
+        asm.syscall(SYS_EXIT)
+    return asm.finish()
+
+
+def run_agrep(contended: bool):
+    config = ExperimentConfig(app="agrep").resolved_system()
+    fs = FileSystem(allocation_jitter_blocks=24, seed=config.seed)
+    binary = SpecHintTool().transform(build_agrep(fs, AgrepWorkload()))
+    system = build_system(config, fs)
+    agrep = system.kernel.spawn(binary)
+    if contended:
+        system.kernel.spawn(spinner_binary())
+    system.kernel.run()
+    return system, agrep
+
+
+def run_comparison():
+    results = {}
+    for contended in (False, True):
+        system, agrep = run_agrep(contended)
+        results[contended] = (
+            agrep.spec_thread.cpu_cycles,
+            agrep.spec.hints_issued,
+            system.stats.get("tip.hinted_read_calls"),
+        )
+    return results
+
+
+def test_ablation_multiprogramming(benchmark):
+    results = once(benchmark, run_comparison)
+    print(banner("Ablation - CPU contention starves speculation"))
+    for contended, (spec_cpu, hints, hinted_reads) in results.items():
+        label = "with competitor" if contended else "alone          "
+        print(f"{label}: speculating-thread CPU {spec_cpu / 1e6:7.2f} Mcycles, "
+              f"{hints} hints issued, {hinted_reads} reads hinted")
+
+    alone = results[False]
+    contended = results[True]
+    # The competitor steals the stall-time cycles speculation lives on.
+    assert contended[0] < alone[0] * 0.9
+    assert contended[2] <= alone[2]

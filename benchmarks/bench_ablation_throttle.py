@@ -1,0 +1,64 @@
+"""Ablation (Section 5): the cancel-triggered speculation throttle.
+
+Paper: "even a simple, ad-hoc mechanism — disabling speculative execution
+for a brief time after some number of cancel requests have been issued —
+was sufficient to eliminate the performance penalty of performing
+speculative execution in Gnuld when the I/O system offered no parallelism."
+
+We run the 1-disk Gnuld (where erroneous prefetches hurt most) with the
+throttle off and on.
+"""
+
+import dataclasses
+
+from conftest import banner, once
+
+from repro.harness.config import ExperimentConfig, Variant
+from repro.harness.runner import run_experiment
+from repro.params import ArrayParams, SpecHintParams, SystemConfig
+
+
+def one_disk_system(throttled: bool) -> SystemConfig:
+    spechint = SpecHintParams(
+        throttle_cancel_limit=4 if throttled else 0,
+        throttle_disable_reads=48,
+    )
+    return SystemConfig(array=ArrayParams(ndisks=1), spechint=spechint)
+
+
+def run_throttle_comparison():
+    runs = {}
+    for throttled in (False, True):
+        system = one_disk_system(throttled)
+        original = run_experiment(ExperimentConfig(
+            app="gnuld", variant=Variant.ORIGINAL, system=system))
+        speculating = run_experiment(ExperimentConfig(
+            app="gnuld", variant=Variant.SPECULATING, system=system))
+        runs[throttled] = (original, speculating)
+    return runs
+
+
+def test_ablation_throttle_one_disk_gnuld(benchmark):
+    runs = once(benchmark, run_throttle_comparison)
+    print(banner("Ablation - cancel-triggered throttle (Gnuld, 1 disk)"))
+    for throttled, (original, speculating) in runs.items():
+        label = "throttle on " if throttled else "throttle off"
+        print(
+            f"{label}: improvement "
+            f"{speculating.improvement_over(original):6.1f}%  "
+            f"cancels={speculating.spec_cancel_calls:4d}  "
+            f"inaccurate hints={speculating.inaccurate_hints:6d}  "
+            f"unused prefetched={speculating.prefetched_unused:4d}"
+        )
+
+    free = runs[False][1]
+    throttled = runs[True][1]
+
+    # The throttle suppresses erroneous speculation...
+    assert throttled.inaccurate_hints < free.inaccurate_hints
+    assert throttled.spec_cancel_calls < free.spec_cancel_calls
+
+    # ...without destroying (and ideally improving) the 1-disk result.
+    free_improvement = free.improvement_over(runs[False][0])
+    throttled_improvement = throttled.improvement_over(runs[True][0])
+    assert throttled_improvement > free_improvement - 5

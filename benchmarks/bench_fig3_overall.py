@@ -1,0 +1,43 @@
+"""Figure 3: overall performance improvement.
+
+Paper (4 disks, 12 MB cache): speculative execution reduces execution time
+by 69% (Agrep), 29% (Gnuld) and 70% (XDataSlice); for Agrep and XDataSlice
+it matches the manually modified applications, for Gnuld it falls well
+short of manual (66%) but still far outperforms the original.
+"""
+
+from conftest import banner, headline_matrix, once
+
+from repro.harness import paper
+from repro.harness.tables import format_fig3
+
+
+def test_fig3_overall_performance(benchmark):
+    matrix = once(benchmark, headline_matrix)
+    print(banner("Figure 3 - overall performance"))
+    print(format_fig3(matrix))
+
+    for app, results in matrix.items():
+        original = results["original"]
+        spec_imp = results["speculating"].improvement_over(original)
+        manual_imp = results["manual"].improvement_over(original)
+
+        # Shape 1: both hinting variants are large wins.
+        assert spec_imp > 25, f"{app}: speculating improvement {spec_imp:.0f}%"
+        assert manual_imp > 55, f"{app}: manual improvement {manual_imp:.0f}%"
+
+    # Shape 2: Agrep/XDataSlice speculating ~= manual (within 10 points).
+    for app in ("agrep", "xds"):
+        results = matrix[app]
+        original = results["original"]
+        gap = abs(
+            results["speculating"].improvement_over(original)
+            - results["manual"].improvement_over(original)
+        )
+        assert gap < 10, f"{app}: spec/manual gap {gap:.1f} points"
+
+    # Shape 3: Gnuld's data dependences hold speculation below manual.
+    gnuld = matrix["gnuld"]
+    original = gnuld["original"]
+    assert gnuld["speculating"].improvement_over(original) < \
+        gnuld["manual"].improvement_over(original) - 5

@@ -1,0 +1,38 @@
+"""Figure 4: runtime overhead of supporting speculative execution.
+
+Paper: with TIP configured to ignore hints, the speculating applications
+were "no more than 4%, and as little as 1%, slower than the original
+applications" — the worst-case cost of the transformation minus any
+erroneous-hint effects.
+"""
+
+from conftest import banner, once
+
+from repro.harness import paper
+from repro.harness.config import Variant
+from repro.harness.experiments import run_one
+from repro.harness.tables import format_fig4
+from repro.params import SystemConfig, TipParams
+
+
+def run_overheads():
+    system = SystemConfig().replace(tip=TipParams(ignore_hints=True))
+    overheads = {}
+    for app in ("agrep", "gnuld", "xds"):
+        original = run_one(app, Variant.ORIGINAL, system=system)
+        speculating = run_one(app, Variant.SPECULATING, system=system)
+        overheads[app] = (
+            100.0 * (speculating.cycles - original.cycles) / original.cycles
+        )
+    return overheads
+
+
+def test_fig4_overhead(benchmark):
+    overheads = once(benchmark, run_overheads)
+    print(banner("Figure 4 - runtime overhead (TIP ignoring hints)"))
+    print(format_fig4(overheads))
+    for app, overhead in overheads.items():
+        assert overhead <= paper.FIG4_MAX_OVERHEAD_PCT, (
+            f"{app}: overhead {overhead:.2f}% exceeds the paper's 4% bound"
+        )
+        assert overhead >= -1.0, f"{app}: speculating run implausibly faster"

@@ -1,0 +1,42 @@
+"""Section 4.4: dilation factors and hint-rate analysis.
+
+Paper: "the ratio between the median number of cycles between hint calls
+and the median number of cycles between read calls — 7.5, 1.6 and 1.3 for
+Agrep, Gnuld and XDataSlice ... larger than one mainly due to the
+copy-on-write checks performed during speculative execution.  Accordingly,
+of our three applications, the speculating Agrep generates hints at by far
+the slowest rate."
+"""
+
+from conftest import banner, headline_matrix, once
+
+from repro.harness import paper
+
+
+def test_section44_dilation_factors(benchmark):
+    matrix = once(benchmark, headline_matrix)
+    print(banner("Section 4.4 - dilation factors"))
+    print(f"{'benchmark':<12} {'read interval':>14} {'hint interval':>14} "
+          f"{'dilation':>9} {'paper':>7}")
+    dilations = {}
+    for app in ("agrep", "gnuld", "xds"):
+        result = matrix[app]["speculating"]
+        dilations[app] = result.dilation_factor
+        print(
+            f"{app:<12} {result.median_read_interval:>13.0f}c "
+            f"{result.median_hint_interval:>13.0f}c "
+            f"{result.dilation_factor:>9.2f} "
+            f"{paper.SECTION44_DILATION[app]:>7.1f}"
+        )
+
+    # Every dilation factor exceeds one (COW checks slow speculation).
+    for app, dilation in dilations.items():
+        assert dilation > 1.0, f"{app}: dilation {dilation:.2f} <= 1"
+
+    # Agrep's load-dense search loop dilates by far the most.
+    assert dilations["agrep"] > 2 * dilations["gnuld"]
+    assert dilations["agrep"] > 2 * dilations["xds"]
+
+    # Gnuld and XDataSlice sit in the paper's 1.3-1.6 neighbourhood.
+    assert 1.0 < dilations["gnuld"] < 3.0
+    assert 1.0 < dilations["xds"] < 3.0

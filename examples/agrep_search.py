@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Agrep: the paper's text-search benchmark, end to end.
+
+Agrep sequentially reads every file named on its command line — its access
+stream is *fully determined by its arguments*, the friendliest case for
+speculative hint generation.  This example runs the benchmark's three
+variants (original / SpecHint-transformed / manually hinted) on the
+simulated 4-disk machine and reproduces the paper's headline observation:
+automatic speculation matches hand-inserted hints (paper: 69% vs 70%).
+
+Run:  python examples/agrep_search.py
+"""
+
+from repro import Variant, run_one
+
+
+def main() -> None:
+    print("Agrep - full-text search over a source tree (scaled workload)")
+    print("=" * 62)
+
+    results = {v: run_one("agrep", v) for v in Variant}
+    original = results[Variant.ORIGINAL]
+
+    for variant, result in results.items():
+        line = (f"{variant.value:12s} {result.elapsed_s:7.3f} s simulated   "
+                f"{result.read_calls} reads")
+        if variant is not Variant.ORIGINAL:
+            line += (f"   improvement {result.improvement_over(original):5.1f}%"
+                     f"   ({result.pct_calls_hinted:.1f}% of calls hinted)")
+        print(line)
+
+    spec = results[Variant.SPECULATING]
+    print(f"\npaper: 69% (speculating) vs 70% (manual) - automatic matches manual")
+    print(f"\nwhy it works:")
+    print(f"  * no data-dependent reads: hints are never wrong "
+          f"({spec.inaccurate_hints} inaccurate hints)")
+    print(f"  * one EOF-detecting read per file is predicted but needs no "
+          f"hint, which is why only {spec.pct_calls_hinted:.0f}% of *calls* "
+          f"are hinted while {spec.pct_bytes_hinted:.0f}% of *bytes* are")
+    print(f"  * the byte-granular search loop pays a COW check per load in "
+          f"shadow code: dilation factor {spec.dilation_factor:.1f} "
+          f"(paper: 7.5) - the slowest hint rate of the three benchmarks,")
+    print(f"    which is what caps speculating Agrep at high disk counts "
+          f"(Figure 5) until processors outpace disks (Figure 6)")
+
+    assert spec.improvement_over(original) > 50
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Gnuld: the data-dependent linker — where speculation struggles.
+
+Gnuld chases pointers through its object files: the file header locates
+the symbol header, which locates the symbol tables, which locate
+everything else.  When speculation restarts after a blocking read, the
+data that determines the *next* read is still in flight, so the
+speculating thread computes on stale buffer contents: it issues erroneous
+hints, strays off track, and gets restarted by the hint-log check — over
+and over.  The paper measures a 29% improvement against 66% for the
+manually restructured Gnuld; this example shows the same asymmetry and
+its mechanism.
+
+Run:  python examples/gnuld_link.py
+"""
+
+from repro import Variant, run_one
+
+
+def main() -> None:
+    print("Gnuld - linking object files (scaled workload)")
+    print("=" * 62)
+
+    results = {v: run_one("gnuld", v) for v in Variant}
+    original = results[Variant.ORIGINAL]
+
+    for variant, result in results.items():
+        line = (f"{variant.value:12s} {result.elapsed_s:7.3f} s simulated   "
+                f"{result.read_calls} reads")
+        if variant is not Variant.ORIGINAL:
+            line += f"   improvement {result.improvement_over(original):5.1f}%"
+        print(line)
+
+    spec = results[Variant.SPECULATING]
+    manual = results[Variant.MANUAL]
+    print(f"\npaper: 29% (speculating) vs 66% (manual)")
+
+    print(f"\nthe data-dependence signature of the speculating Gnuld:")
+    print(f"  * {spec.spec_restarts} speculation restarts "
+          f"(off-track detections by the hint log)")
+    print(f"  * {spec.inaccurate_hints} inaccurate hints issued from stale "
+          f"buffer data (paper: 2,336)")
+    print(f"  * {spec.spec_signals} signals from computing on garbage "
+          f"(paper: 39)")
+    print(f"  * {spec.prefetched_unused} unused prefetched blocks vs "
+          f"{manual.prefetched_unused} for manual (paper: 3,924 vs 27)")
+
+    print(f"\nthe manual Gnuld was *restructured* (as in the paper): it "
+          f"reads all file headers first, then batches hints for every "
+          f"symbol header, and so on pass by pass - turning per-file "
+          f"dependence chains into pipelined batches.")
+
+    assert spec.improvement_over(original) < manual.improvement_over(original)
+    assert spec.inaccurate_hints > 100
+
+
+if __name__ == "__main__":
+    main()

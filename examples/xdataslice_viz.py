@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""XDataSlice: out-of-core visualization — where read-ahead fails and
+hints shine.
+
+XDataSlice renders arbitrary slices through a 3-D volume far larger than
+the file cache.  Its scanline reads are short and strided, so the stock
+sequential read-ahead policy wastes most of what it prefetches (paper:
+58% unused), while both hint-driven variants fetch almost exactly what
+is needed and exploit all four disks (paper: 70% / 71% improvements).
+
+Run:  python examples/xdataslice_viz.py
+"""
+
+from repro import Variant, run_one
+
+
+def main() -> None:
+    print("XDataSlice - slicing an out-of-core volume (scaled workload)")
+    print("=" * 62)
+
+    results = {v: run_one("xds", v) for v in Variant}
+    original = results[Variant.ORIGINAL]
+
+    for variant, result in results.items():
+        line = (f"{variant.value:12s} {result.elapsed_s:7.3f} s simulated   "
+                f"{result.read_calls} scanline reads")
+        if variant is not Variant.ORIGINAL:
+            line += f"   improvement {result.improvement_over(original):5.1f}%"
+        print(line)
+
+    print(f"\npaper: 70% (speculating) vs 71% (manual)")
+
+    print("\nprefetch economics (Table 5's story):")
+    for variant, result in results.items():
+        prefetched = max(1, result.prefetched_blocks)
+        wasted = 100.0 * result.prefetched_unused / prefetched
+        source = ("sequential read-ahead" if variant is Variant.ORIGINAL
+                  else "TIP hint-driven prefetching")
+        print(f"  {variant.value:12s} {result.prefetched_blocks:5d} blocks "
+              f"prefetched by {source:28s} {wasted:5.1f}% unused")
+
+    spec = results[Variant.SPECULATING]
+    print(f"\nslice coordinates fully determine the reads (no data "
+          f"dependence), so speculation hints {spec.pct_calls_hinted:.1f}% "
+          f"of calls (paper: 97.5%) with {spec.inaccurate_hints} inaccurate "
+          f"hints, and nearly eliminates the read-ahead waste.")
+
+    orig_waste = original.prefetched_unused / max(1, original.prefetched_blocks)
+    spec_waste = spec.prefetched_unused / max(1, spec.prefetched_blocks)
+    assert spec_waste < orig_waste / 3
+    assert spec.improvement_over(original) > 50
+
+
+if __name__ == "__main__":
+    main()

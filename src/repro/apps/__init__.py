@@ -1,0 +1,41 @@
+"""Benchmark applications from the TIP benchmark suite, as SpecVM programs.
+
+Each application comes in two source variants:
+
+* **plain** — the unmodified program (run as the paper's *Original*, and
+  fed to the SpecHint tool to produce the *Speculating* executable);
+* **manual** — the programmer-hinted version (the paper's *Manual*),
+  issuing TIP hints at the points Patterson's restructured applications do.
+
+The applications' access patterns are the paper's:
+
+* :mod:`repro.apps.agrep` — sequential whole-file reads over many files,
+  fully determined by the argument list (no data dependence);
+* :mod:`repro.apps.gnuld` — header -> symbol-header -> symbol-table read
+  chains per object file (strong data dependence), then debug and
+  section passes driven by in-memory tables;
+* :mod:`repro.apps.xdataslice` — strided scanline reads of random slices
+  through a large out-of-core 3-D dataset (no data dependence, little
+  locality).
+"""
+
+from repro.apps.agrep import AgrepWorkload, build_agrep
+from repro.apps.datasets import (
+    generate_agrep_corpus,
+    generate_gnuld_objects,
+    generate_xds_dataset,
+)
+from repro.apps.gnuld import GnuldWorkload, build_gnuld
+from repro.apps.xdataslice import XdsWorkload, build_xdataslice
+
+__all__ = [
+    "AgrepWorkload",
+    "build_agrep",
+    "GnuldWorkload",
+    "build_gnuld",
+    "XdsWorkload",
+    "build_xdataslice",
+    "generate_agrep_corpus",
+    "generate_gnuld_objects",
+    "generate_xds_dataset",
+]

@@ -1,0 +1,243 @@
+"""Deterministic synthetic dataset generators.
+
+The paper's inputs are scaled down roughly 8x (see DESIGN.md section 2) but
+keep their structural properties:
+
+* **Agrep corpus** — many small-to-medium text files (the paper greps 1349
+  Digital UNIX kernel source files occupying 2928 blocks); file sizes are
+  heavy-tailed like real source trees;
+* **Gnuld objects** — object files with a file header pointing at a symbol
+  header pointing at symbol/string tables that in turn locate debug blobs
+  and sections (the offset-chasing structure that creates Gnuld's data
+  dependences);
+* **XDataSlice dataset** — one large z-major 3-D voxel file read far
+  beyond file-cache capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.fs.filesystem import FileSystem, Inode
+from repro.sim.rng import DeterministicRng
+
+# Gnuld object-file layout (u64 little-endian fields) -------------------------
+
+OBJ_MAGIC = 0x6F626A31  # "obj1"
+
+#: File header: magic, symhdr_off, file_size.
+OBJ_HEADER_BYTES = 24
+#: Symbol header: symtab_off, symtab_bytes, strtab_off, strtab_bytes,
+#: nsections, ndebug.
+OBJ_SYMHDR_BYTES = 48
+#: One symbol-table record: (offset, length).
+OBJ_RECORD_BYTES = 16
+
+
+def _u64(value: int) -> bytes:
+    return (value & ((1 << 64) - 1)).to_bytes(8, "little")
+
+
+# ---------------------------------------------------------------------------
+# Agrep
+# ---------------------------------------------------------------------------
+
+def generate_agrep_corpus(
+    fs: FileSystem,
+    nfiles: int,
+    seed: int,
+    min_kb: int = 2,
+    max_kb: int = 120,
+    directory: str = "src",
+) -> List[Inode]:
+    """Create ``nfiles`` text files with a heavy-tailed size distribution."""
+    rng = DeterministicRng(seed, "agrep-corpus")
+    inodes = []
+    for i in range(nfiles):
+        size = rng.pareto_int(1.3, min_kb * 1024, max_kb * 1024)
+        data = rng.bytes(size)
+        inodes.append(fs.create(f"{directory}/file{i:04d}.c", data))
+    return inodes
+
+
+# ---------------------------------------------------------------------------
+# Gnuld
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ObjectFileSpec:
+    """Shape of one generated object file."""
+
+    path: str
+    size: int
+    nsections: int
+    ndebug: int
+    section_offsets: List[int] = field(default_factory=list)
+    section_lengths: List[int] = field(default_factory=list)
+    debug_offsets: List[int] = field(default_factory=list)
+    debug_lengths: List[int] = field(default_factory=list)
+    #: Relocation blobs, one per section, located via a pointer stored in
+    #: the first 16 bytes of the section itself (data dependence that
+    #: persists through the section pass, as in the real linker).
+    reloc_offsets: List[int] = field(default_factory=list)
+    reloc_lengths: List[int] = field(default_factory=list)
+
+
+def generate_gnuld_objects(
+    fs: FileSystem,
+    nfiles: int,
+    seed: int,
+    max_sections: int = 9,
+    directory: str = "obj",
+) -> List[ObjectFileSpec]:
+    """Create linkable object files with the paper's offset-chasing layout.
+
+    Layout of each file::
+
+        [file header][...][symbol header][symbol table][string table]
+        [debug blobs...][sections...]
+
+    The symbol header is placed at a file-dependent offset (recorded in the
+    file header) so that reading it *requires* the header's contents —
+    the data dependence that limits speculative Gnuld.
+    """
+    rng = DeterministicRng(seed, "gnuld-objects")
+    specs = []
+    for i in range(nfiles):
+        nsections = rng.randint(4, max_sections)
+        ndebug = rng.randint(6, 9)
+        # The symbol header lands a few blocks into the file — reading it
+        # requires the file header's contents *and* a separate disk block.
+        # Every position is strongly file-dependent so that stale offsets
+        # (speculation reading last file's header out of the buffer) point
+        # at the *wrong* blocks, as they would in a real link.
+        symhdr_off = rng.randint(1 * 8192, 4 * 8192) & ~511
+        symtab_bytes = (nsections + ndebug) * OBJ_RECORD_BYTES + rng.randint(512, 2048)
+        strtab_bytes = rng.randint(512, 1536)
+
+        # Symbol and string tables live past the symbol header, in their
+        # own block neighbourhood (string table adjacent to symbol table,
+        # giving the block reuse the paper's Gnuld shows).
+        symtab_off = symhdr_off + (rng.randint(1 * 8192, 5 * 8192) & ~511)
+        strtab_off = symtab_off + symtab_bytes
+        cursor = strtab_off + strtab_bytes + rng.randint(0, 16 * 1024)
+
+        debug_offsets, debug_lengths = [], []
+        for _ in range(ndebug):
+            length = rng.randint(64, 384)
+            debug_offsets.append(cursor)
+            debug_lengths.append(length)
+            cursor += length + rng.randint(0, 256)
+
+        section_offsets, section_lengths = [], []
+        cursor += rng.randint(0, 12 * 1024)
+        for _ in range(nsections):
+            length = max(64, rng.randint(1024, 12 * 1024))
+            section_offsets.append(cursor)
+            section_lengths.append(length)
+            cursor += length + rng.randint(0, 4096)
+
+        # Relocation area: one blob per section, scattered near the end of
+        # the file.  Each section's first 16 bytes point at its blob.
+        reloc_offsets, reloc_lengths = [], []
+        cursor += rng.randint(0, 8 * 1024)
+        for _ in range(nsections):
+            length = rng.randint(512, 2048)
+            reloc_offsets.append(cursor)
+            reloc_lengths.append(length)
+            cursor += length + rng.randint(0, 4096)
+
+        size = cursor + rng.randint(0, 512)
+        blob = bytearray(rng.bytes(size))
+
+        for off, r_off, r_len in zip(section_offsets, reloc_offsets, reloc_lengths):
+            blob[off:off + 8] = _u64(r_off)
+            blob[off + 8:off + 16] = _u64(r_len)
+
+        blob[0:8] = _u64(OBJ_MAGIC)
+        blob[8:16] = _u64(symhdr_off)
+        blob[16:24] = _u64(size)
+
+        sym = symhdr_off
+        blob[sym:sym + 8] = _u64(symtab_off)
+        blob[sym + 8:sym + 16] = _u64(symtab_bytes)
+        blob[sym + 16:sym + 24] = _u64(strtab_off)
+        blob[sym + 24:sym + 32] = _u64(strtab_bytes)
+        blob[sym + 32:sym + 40] = _u64(nsections)
+        blob[sym + 40:sym + 48] = _u64(ndebug)
+
+        cursor = symtab_off
+        for off, length in zip(section_offsets, section_lengths):
+            blob[cursor:cursor + 8] = _u64(off)
+            blob[cursor + 8:cursor + 16] = _u64(length)
+            cursor += OBJ_RECORD_BYTES
+        for off, length in zip(debug_offsets, debug_lengths):
+            blob[cursor:cursor + 8] = _u64(off)
+            blob[cursor + 8:cursor + 16] = _u64(length)
+            cursor += OBJ_RECORD_BYTES
+
+        path = f"{directory}/module{i:04d}.o"
+        fs.create(path, bytes(blob))
+        specs.append(
+            ObjectFileSpec(
+                path=path,
+                size=size,
+                nsections=nsections,
+                ndebug=ndebug,
+                section_offsets=section_offsets,
+                section_lengths=section_lengths,
+                debug_offsets=debug_offsets,
+                debug_lengths=debug_lengths,
+                reloc_offsets=reloc_offsets,
+                reloc_lengths=reloc_lengths,
+            )
+        )
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# XDataSlice
+# ---------------------------------------------------------------------------
+
+def generate_xds_dataset(
+    fs: FileSystem,
+    dim: int,
+    seed: int,
+    path: str = "data/volume.xds",
+    voxel_bytes: int = 4,
+) -> Inode:
+    """Create the z-major ``dim**3`` voxel dataset file.
+
+    Voxel values are irrelevant to control flow, so the bulk is zeros with
+    a thin deterministic sprinkle for realism.
+    """
+    rng = DeterministicRng(seed, "xds-dataset")
+    size = dim * dim * dim * voxel_bytes
+    blob = bytearray(size)
+    # Sprinkle a deterministic pattern so reads return non-trivial data.
+    for _ in range(min(4096, size // 64)):
+        pos = rng.randint(0, size - 1)
+        blob[pos] = rng.randint(1, 255)
+    return fs.create(path, bytes(blob))
+
+
+def xds_slice_plan(
+    dim: int,
+    nslices: int,
+    seed: int,
+) -> List[int]:
+    """(axis, position) pairs for the slice sequence, flattened.
+
+    axis 0 = x (worst locality: one voxel run per scanline), 1 = y
+    (strided scanlines), 2 = z (one contiguous plane).  XDataSlice's
+    benchmark retrieves random slices; we bias away from x slices, whose
+    read count would dwarf the others.
+    """
+    rng = DeterministicRng(seed, "xds-slices")
+    plan = []
+    for _ in range(nslices):
+        axis = rng.choice([1, 1, 2, 1, 2])  # y-heavy mix like the paper's runs
+        position = rng.randint(0, dim - 1)
+        plan.extend((axis, position))
+    return plan

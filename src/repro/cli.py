@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run APP [--variant V] [--disks N] [--cache-mb MB] [--scale S] [--ncpus N]``
+    Run one benchmark and print its result record.
+
+``compare APP ...``
+    Run all three variants of one or more apps and print a Figure 3-style
+    comparison.
+
+``transform APP``
+    Run the SpecHint tool over a benchmark binary and print the Table 3
+    statistics plus a disassembly excerpt around the shadow boundary.
+
+``sweep {disks,cache,ratio}``
+    Regenerate one of the paper's sweep experiments (Figure 5 / Table 7 /
+    Figure 6) and print the series.
+
+``paper``
+    Print the paper's published reference numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import List, Optional
+
+from repro.harness import paper
+from repro.harness.config import ALL_APPS, ExperimentConfig, Variant
+from repro.harness.experiments import (
+    run_cache_size_sweep,
+    run_cpu_ratio_sweep,
+    run_disk_sweep,
+)
+from repro.harness.runner import run_experiment
+from repro.harness.tables import (
+    format_improvement_series,
+    format_table7,
+    format_table8,
+)
+from repro.params import ArrayParams, SystemConfig
+
+
+def _base_config(args: argparse.Namespace) -> ExperimentConfig:
+    system = SystemConfig(
+        array=ArrayParams(ndisks=args.disks),
+        ncpus=args.ncpus,
+    )
+    return ExperimentConfig(
+        app=args.app,
+        system=system,
+        cache_paper_mb=args.cache_mb,
+        workload_scale=args.scale,
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cfg = _base_config(args).with_(variant=Variant(args.variant))
+    result = run_experiment(cfg)
+    print(result.summary())
+    print(f"  elapsed:          {result.elapsed_s:.3f} s simulated")
+    print(f"  reads:            {result.read_calls} calls, "
+          f"{result.read_blocks} blocks, {result.read_bytes:,} bytes")
+    print(f"  hinted:           {result.pct_calls_hinted:.1f}% of calls, "
+          f"{result.pct_bytes_hinted:.1f}% of bytes")
+    print(f"  prefetched:       {result.prefetched_blocks} blocks "
+          f"({result.prefetched_fully} fully, "
+          f"{result.prefetched_partially} partially, "
+          f"{result.prefetched_unused} unused)")
+    if result.variant == "speculating":
+        print(f"  speculation:      {result.spec_hints_issued} hints, "
+              f"{result.spec_restarts} restarts, "
+              f"{result.spec_signals} signals, "
+              f"dilation {result.dilation_factor:.2f}")
+        print(f"  inaccurate hints: {result.inaccurate_hints}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    for app in args.apps:
+        base = _base_config(argparse.Namespace(
+            app=app, disks=args.disks, ncpus=args.ncpus,
+            cache_mb=args.cache_mb, scale=args.scale,
+        ))
+        results = {
+            variant: run_experiment(base.with_(variant=variant))
+            for variant in Variant
+        }
+        original = results[Variant.ORIGINAL]
+        print(f"\n{app} (original {original.elapsed_s:.3f} s):")
+        for variant in (Variant.SPECULATING, Variant.MANUAL):
+            result = results[variant]
+            print(f"  {variant.value:12s} {result.elapsed_s:8.3f} s  "
+                  f"({result.improvement_over(original):5.1f}% improvement, "
+                  f"{result.pct_calls_hinted:5.1f}% of calls hinted)")
+    return 0
+
+
+def cmd_transform(args: argparse.Namespace) -> int:
+    from repro.apps.agrep import AgrepWorkload, build_agrep
+    from repro.apps.gnuld import GnuldWorkload, build_gnuld
+    from repro.apps.xdataslice import XdsWorkload, build_xdataslice
+    from repro.fs.filesystem import FileSystem
+    from repro.spechint.tool import SpecHintTool
+    from repro.vm.disasm import listing
+
+    builders = {
+        "agrep": lambda fs: build_agrep(fs, AgrepWorkload().scaled(args.scale)),
+        "gnuld": lambda fs: build_gnuld(fs, GnuldWorkload().scaled(args.scale)),
+        "xds": lambda fs: build_xdataslice(fs, XdsWorkload().scaled(args.scale)),
+    }
+    binary = builders[args.app](FileSystem())
+    transformed = SpecHintTool().transform(binary)
+    report = transformed.spec_meta.report
+
+    print(f"transformed {report.binary_name} in "
+          f"{report.modification_time_s * 1000:.1f} ms")
+    print(f"  instructions:   {report.original_insns} original + "
+          f"{report.shadow_insns} shadow")
+    print(f"  wrapped:        {report.loads_wrapped} loads, "
+          f"{report.stores_wrapped} stores "
+          f"({report.stack_relative_skipped} stack-relative skipped)")
+    print(f"  redirected:     {report.static_transfers_redirected} static, "
+          f"{report.dynamic_transfers_routed} dynamic")
+    print(f"  jump tables:    {report.jump_tables_remapped} remapped, "
+          f"{report.jump_tables_unrecognized} unrecognized")
+    print(f"  reads -> hints: {report.reads_substituted}; output calls "
+          f"stripped: {report.output_calls_stripped}")
+    print(f"  size:           {report.original_size_bytes:,} -> "
+          f"{report.transformed_size_bytes:,} bytes "
+          f"(+{report.size_increase_pct:.0f}%)")
+    if args.disasm:
+        boundary = transformed.spec_meta.shadow_base
+        lo = max(0, boundary - args.disasm // 2)
+        print("\n" + listing(transformed, lo, boundary + args.disasm // 2))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.kind == "disks":
+        sweep = run_disk_sweep((1, 2, 4, 10), workload_scale=args.scale)
+        print(format_table8(sweep))
+        print()
+        print(format_improvement_series(sweep, "number of disks"))
+    elif args.kind == "cache":
+        sweep = run_cache_size_sweep((6.0, 12.0, 32.0),
+                                     workload_scale=args.scale)
+        print(format_table7(sweep))
+    else:
+        sweep = run_cpu_ratio_sweep((1, 3, 5, 9), workload_scale=args.scale)
+        print(format_improvement_series(sweep, "processor/disk speed ratio"))
+    return 0
+
+
+def cmd_paper(args: argparse.Namespace) -> int:
+    print("Published results (Chang & Gibson, OSDI 1999):")
+    print("\nFigure 3 - % improvement (speculating / manual):")
+    for app, (spec, manual) in paper.FIG3_IMPROVEMENT.items():
+        print(f"  {app:8s} {spec:5.0f}% / {manual:5.0f}%")
+    print("\nSection 4.4 dilation factors:")
+    for app, value in paper.SECTION44_DILATION.items():
+        print(f"  {app:8s} {value}")
+    print("\nTable 4 inaccurate hints (speculating):")
+    for app, row in paper.TABLE4_SPECULATING.items():
+        print(f"  {app:8s} {row[3]}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SpecHint reproduction (Chang & Gibson, OSDI 1999)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, with_app: bool = True) -> None:
+        if with_app:
+            p.add_argument("app", choices=ALL_APPS)
+        p.add_argument("--disks", type=int, default=4)
+        p.add_argument("--cache-mb", type=float, default=12.0,
+                       help="file cache size in the paper's MB")
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="workload scale factor")
+        p.add_argument("--ncpus", type=int, default=1, choices=(1, 2))
+
+    run_p = sub.add_parser("run", help="run one benchmark variant")
+    common(run_p)
+    run_p.add_argument("--variant", default="speculating",
+                       choices=[v.value for v in Variant])
+    run_p.set_defaults(func=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="compare all variants")
+    cmp_p.add_argument("apps", nargs="+", choices=ALL_APPS)
+    common(cmp_p, with_app=False)
+    cmp_p.set_defaults(func=cmd_compare)
+
+    tr_p = sub.add_parser("transform", help="show SpecHint tool output")
+    tr_p.add_argument("app", choices=ALL_APPS)
+    tr_p.add_argument("--scale", type=float, default=1.0)
+    tr_p.add_argument("--disasm", type=int, default=0, metavar="N",
+                      help="print N listing lines around the shadow boundary")
+    tr_p.set_defaults(func=cmd_transform)
+
+    sw_p = sub.add_parser("sweep", help="regenerate a sweep experiment")
+    sw_p.add_argument("kind", choices=("disks", "cache", "ratio"))
+    sw_p.add_argument("--scale", type=float, default=1.0)
+    sw_p.set_defaults(func=cmd_sweep)
+
+    pp_p = sub.add_parser("paper", help="print the paper's numbers")
+    pp_p.set_defaults(func=cmd_paper)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

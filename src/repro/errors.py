@@ -1,0 +1,127 @@
+"""Exception hierarchy for the SpecHint reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated built-in
+exceptions.  Subsystem-specific errors are grouped below by the package that
+raises them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation core
+# ---------------------------------------------------------------------------
+
+class SimulationError(ReproError):
+    """A violation of discrete-event simulation invariants.
+
+    Raised, for example, when an event is scheduled in the past or when the
+    engine is asked to run after it has been torn down.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Storage substrate
+# ---------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for disk/striping errors."""
+
+
+class InvalidBlockError(StorageError):
+    """An I/O request addressed a block outside the device."""
+
+
+# ---------------------------------------------------------------------------
+# File system substrate
+# ---------------------------------------------------------------------------
+
+class FileSystemError(ReproError):
+    """Base class for simulated file system errors."""
+
+
+class FileNotFoundInFS(FileSystemError):
+    """A path lookup failed."""
+
+
+class FileExistsInFS(FileSystemError):
+    """A file creation collided with an existing path."""
+
+
+class BadFileDescriptor(FileSystemError):
+    """An operation used a closed or never-opened file descriptor."""
+
+
+# ---------------------------------------------------------------------------
+# Kernel
+# ---------------------------------------------------------------------------
+
+class KernelError(ReproError):
+    """Base class for simulated kernel errors."""
+
+
+class InvalidSyscall(KernelError):
+    """A program invoked an unknown or forbidden system call."""
+
+
+class SchedulerError(KernelError):
+    """Scheduling invariant violation (e.g. running a blocked thread)."""
+
+
+# ---------------------------------------------------------------------------
+# SpecVM (execution substrate)
+# ---------------------------------------------------------------------------
+
+class VMError(ReproError):
+    """Base class for SpecVM errors."""
+
+
+class AssemblyError(VMError):
+    """The assembler rejected a program (unknown opcode, bad label...)."""
+
+
+class MachineFault(VMError):
+    """A *normal-execution* machine fault.
+
+    Faults during speculative execution are not raised as exceptions out of
+    the machine; they are converted to simulated signals and handled by the
+    SpecHint runtime, mirroring the paper's signal-handler design.
+    """
+
+
+class IllegalAddress(MachineFault):
+    """A load/store touched an unmapped address during normal execution."""
+
+
+class ArithmeticFault(MachineFault):
+    """Division (or modulus) by zero during normal execution."""
+
+
+# ---------------------------------------------------------------------------
+# SpecHint (the contribution)
+# ---------------------------------------------------------------------------
+
+class SpecHintError(ReproError):
+    """Base class for binary-transformation errors."""
+
+
+class UnsupportedBinary(SpecHintError):
+    """The input binary violates SpecHint's restrictions.
+
+    The paper's tool is restricted to single-threaded, statically linked
+    binaries that retain relocation information; our tool enforces the
+    analogous restrictions on SpecVM binaries.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+class HarnessError(ReproError):
+    """Experiment configuration or bookkeeping error."""

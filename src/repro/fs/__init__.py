@@ -1,0 +1,23 @@
+"""Simulated file system substrate.
+
+Provides inodes with real byte contents (benchmark programs parse headers and
+offsets out of what they read), a block cache whose replacement is delegated
+to a pluggable manager (baseline UBC-LRU or TIP), and the Digital UNIX
+sequential read-ahead policy described in the paper's Section 4.
+"""
+
+from repro.fs.cache import BlockCache, CacheEntry, EntryState, FetchOrigin
+from repro.fs.filesystem import FileSystem, Inode
+from repro.fs.readahead import SequentialReadAhead
+from repro.fs.ubc import UbcManager
+
+__all__ = [
+    "BlockCache",
+    "CacheEntry",
+    "EntryState",
+    "FetchOrigin",
+    "FileSystem",
+    "Inode",
+    "SequentialReadAhead",
+    "UbcManager",
+]

@@ -1,0 +1,138 @@
+"""Inodes and the simulated file system.
+
+A new, empty file system is created for each experiment (the paper: "A new
+file system was created to hold the files used in our experiments"), so
+files are allocated contiguously in the striped logical block address space.
+
+File *contents* are real bytes.  Benchmark programs read headers, follow
+offsets stored inside the data, and compute on what they read — which is what
+makes Gnuld's data-dependent access pattern (and the erroneous hints it
+induces under speculation) come out of the simulation rather than being
+scripted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import FileExistsInFS, FileNotFoundInFS, InvalidBlockError
+from repro.params import BLOCK_SIZE
+
+
+class Inode:
+    """One file: metadata plus contents."""
+
+    __slots__ = ("ino", "path", "data", "first_lbn")
+
+    def __init__(self, ino: int, path: str, data: bytes, first_lbn: int) -> None:
+        self.ino = ino
+        self.path = path
+        self.data = bytearray(data)
+        #: First logical block in the striped address space; the file's
+        #: blocks are contiguous from here.
+        self.first_lbn = first_lbn
+
+    @property
+    def size(self) -> int:
+        """File size in bytes."""
+        return len(self.data)
+
+    @property
+    def nblocks(self) -> int:
+        """Number of file system blocks occupied (ceil(size / BLOCK_SIZE))."""
+        return max(1, -(-len(self.data) // BLOCK_SIZE))
+
+    def lbn_of_block(self, file_block: int) -> int:
+        """Logical block number of the file's ``file_block``-th block."""
+        if file_block < 0 or file_block >= self.nblocks:
+            raise InvalidBlockError(
+                f"file block {file_block} outside {self.path!r} ({self.nblocks} blocks)"
+            )
+        return self.first_lbn + file_block
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        """Bytes [offset, offset+length), truncated at end of file."""
+        if offset < 0:
+            raise InvalidBlockError(f"negative read offset {offset}")
+        return bytes(self.data[offset:offset + length])
+
+    def write_at(self, offset: int, payload: bytes) -> None:
+        """Overwrite/extend contents at ``offset`` (write-behind, no I/O)."""
+        if offset < 0:
+            raise InvalidBlockError(f"negative write offset {offset}")
+        end = offset + len(payload)
+        if end > len(self.data):
+            self.data.extend(b"\x00" * (end - len(self.data)))
+        self.data[offset:end] = payload
+
+    def __repr__(self) -> str:
+        return f"Inode({self.ino}, {self.path!r}, {self.size}B @ lbn {self.first_lbn})"
+
+
+class FileSystem:
+    """Name space and block allocation over the striped array address space.
+
+    Files are internally contiguous, but successive files are separated by
+    pseudo-random allocation gaps (``allocation_jitter_blocks``): even a
+    freshly created file system does not lay 1349 source files end to end,
+    and those gaps are what make cross-file access pay disk positioning
+    costs, as on the paper's testbed.
+    """
+
+    def __init__(self, allocation_jitter_blocks: int = 0, seed: int = 0) -> None:
+        self._by_path: Dict[str, Inode] = {}
+        self._by_ino: List[Inode] = []
+        self._next_lbn = 0
+        self._jitter = allocation_jitter_blocks
+        self._rng = None
+        if allocation_jitter_blocks > 0:
+            from repro.sim.rng import DeterministicRng
+
+            self._rng = DeterministicRng(seed, "fs-allocation")
+
+    def create(self, path: str, data: bytes) -> Inode:
+        """Create a file with the given contents; blocks are allocated
+        contiguously, after a pseudo-random inter-file gap."""
+        if path in self._by_path:
+            raise FileExistsInFS(path)
+        if self._rng is not None and self._by_ino:
+            self._next_lbn += self._rng.randint(0, self._jitter)
+        inode = Inode(len(self._by_ino), path, data, self._next_lbn)
+        self._next_lbn += inode.nblocks
+        self._by_path[path] = inode
+        self._by_ino.append(inode)
+        return inode
+
+    def lookup(self, path: str) -> Inode:
+        """Resolve a path to its inode."""
+        inode = self._by_path.get(path)
+        if inode is None:
+            raise FileNotFoundInFS(path)
+        return inode
+
+    def lookup_or_none(self, path: str) -> Optional[Inode]:
+        """Resolve a path, returning None when absent (used by hint calls,
+        which must not fault on a speculatively-computed garbage name)."""
+        return self._by_path.get(path)
+
+    def inode(self, ino: int) -> Inode:
+        """Resolve an inode number."""
+        if ino < 0 or ino >= len(self._by_ino):
+            raise FileNotFoundInFS(f"ino {ino}")
+        return self._by_ino[ino]
+
+    def exists(self, path: str) -> bool:
+        return path in self._by_path
+
+    @property
+    def total_blocks(self) -> int:
+        """Blocks allocated so far — the size the striped array must cover."""
+        return max(1, self._next_lbn)
+
+    @property
+    def nfiles(self) -> int:
+        return len(self._by_ino)
+
+    def paths(self) -> List[str]:
+        """All file paths in creation order."""
+        return [inode.path for inode in self._by_ino]

@@ -1,0 +1,187 @@
+"""Cache manager base class.
+
+A cache manager owns replacement and prefetch *policy* over the
+:class:`~repro.fs.cache.BlockCache`.  The kernel's read path calls into the
+manager; the manager talks to the striped array.  Two managers exist:
+
+* :class:`~repro.fs.ubc.UbcManager` — the stock Digital UNIX Unified Buffer
+  Cache: LRU replacement + sequential read-ahead, ignores hints;
+* :class:`~repro.tip.manager.TipManager` — Patterson's TIP informed
+  prefetching and caching manager, which this paper's system feeds with
+  speculatively generated hints.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.fs.cache import BlockCache, BlockKey, CacheEntry, EntryState, FetchOrigin
+from repro.fs.filesystem import FileSystem, Inode
+from repro.fs.readahead import ReadAheadState, SequentialReadAhead
+from repro.sim.stats import StatRegistry
+from repro.storage.request import IOKind, IORequest
+from repro.storage.striping import StripedArray
+
+ReadyCallback = Callable[[], None]
+
+
+class CacheManagerBase:
+    """Mechanism shared by every cache manager; policy in subclasses."""
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        array: StripedArray,
+        cache: BlockCache,
+        readahead: SequentialReadAhead,
+        stats: StatRegistry,
+    ) -> None:
+        self.fs = fs
+        self.array = array
+        self.cache = cache
+        self.readahead = readahead
+        self.stats = stats
+
+    # -- read path (called by the kernel) -----------------------------------
+
+    def access_block(self, inode: Inode, file_block: int, on_ready: ReadyCallback) -> bool:
+        """Application demand access to one block.
+
+        Returns True when the block is resident (``on_ready`` is *not*
+        called).  Otherwise starts/joins a fetch, arranges for ``on_ready``
+        to run once the block arrives, and returns False.
+        """
+        key: BlockKey = (inode.ino, file_block)
+        entry = self.cache.get(key)
+        if entry is not None and entry.state is EntryState.VALID:
+            self.cache.note_access(key)
+            return True
+
+        if entry is not None:
+            # In flight: join the outstanding request at demand priority.
+            entry.demand_waiters += 1
+            self.cache.note_access(key)
+            self.array.submit(inode.lbn_of_block(file_block), IOKind.DEMAND,
+                              lambda _req: on_ready())
+            self.stats.counter("cache.demand_joins_inflight").add()
+            return False
+
+        # Full miss: bring the block in at demand priority.
+        self._make_room_for_demand()
+        entry = self.cache.insert_fetching(key, FetchOrigin.DEMAND)
+        entry.demand_waiters += 1
+        self.cache.note_access(key)
+        self.stats.counter("cache.demand_misses").add()
+
+        def completed(_req: IORequest) -> None:
+            self.cache.mark_valid(key)
+            self.on_block_arrived(key)
+            on_ready()
+
+        self.array.submit(inode.lbn_of_block(file_block), IOKind.DEMAND, completed)
+        return False
+
+    def peek_valid(self, inode: Inode, file_block: int) -> bool:
+        """Non-blocking residency check (used by speculative reads).
+
+        Does not count as an access and does not disturb LRU order.
+        """
+        return self.cache.contains_valid((inode.ino, file_block))
+
+    def read_call_completed(
+        self,
+        pid: int,
+        ra_state: ReadAheadState,
+        inode: Inode,
+        first_block: int,
+        last_block: int,
+        hinted: bool,
+    ) -> None:
+        """Post-read bookkeeping: unhinted calls invoke sequential
+        read-ahead (the paper's policy); managers may add more."""
+        if not hinted:
+            for file_block in self.readahead.on_read(ra_state, inode, first_block, last_block):
+                self.start_prefetch(inode, file_block, FetchOrigin.READAHEAD)
+        self.after_read(pid)
+
+    # -- prefetch mechanics ---------------------------------------------------
+
+    def start_prefetch(
+        self,
+        inode: Inode,
+        file_block: int,
+        origin: FetchOrigin,
+        on_done: Optional[ReadyCallback] = None,
+    ) -> bool:
+        """Bring a block in ahead of need.  Returns False if the block is
+        already present/in-flight or no cache room could be made."""
+        key: BlockKey = (inode.ino, file_block)
+        if self.cache.get(key) is not None:
+            return False
+        if self.cache.free_blocks == 0 and not self._evict_one_for_prefetch():
+            self.stats.counter("cache.prefetch_denied_no_room").add()
+            return False
+        self.cache.insert_fetching(key, origin)
+
+        def completed(_req: IORequest) -> None:
+            self.cache.mark_valid(key)
+            self.on_block_arrived(key)
+            if on_done is not None:
+                on_done()
+
+        self.array.submit(inode.lbn_of_block(file_block), IOKind.PREFETCH, completed)
+        return True
+
+    def _make_room_for_demand(self) -> None:
+        """Evict one block for an incoming demand fetch; overcommit if no
+        victim is available (demand must not be refused)."""
+        if self.cache.free_blocks > 0:
+            return
+        victim = self.find_victim()
+        if victim is not None:
+            self.cache.evict(victim.key)
+
+    def _evict_one_for_prefetch(self) -> bool:
+        victim = self.find_victim()
+        if victim is None:
+            return False
+        self.cache.evict(victim.key)
+        return True
+
+    # -- policy hooks ----------------------------------------------------------
+
+    def find_victim(self) -> Optional[CacheEntry]:
+        """Choose an evictable entry (VALID, unpinned), or None."""
+        raise NotImplementedError
+
+    def consume_hints(
+        self,
+        pid: int,
+        inode: Inode,
+        first_block: int,
+        last_block: int,
+        offset: int,
+        length: int,
+    ) -> bool:
+        """Match an arriving read against outstanding hints.  Returns True
+        when the call was hinted.  Hint-ignorant managers return False."""
+        return False
+
+    def hint_segments(self, pid: int, segments: Sequence["object"]) -> int:
+        """Accept hints (TIP ioctls).  Returns the number accepted."""
+        return 0
+
+    def cancel_all(self, pid: int) -> int:
+        """TIPIO_CANCEL_ALL: drop this process's outstanding hints.
+        Returns the number cancelled.  Already-issued prefetches proceed."""
+        return 0
+
+    def on_block_arrived(self, key: BlockKey) -> None:
+        """Called whenever any fetch completes (policy may react)."""
+
+    def after_read(self, pid: int) -> None:
+        """Called at the end of every read call (policy may react)."""
+
+    def finalize(self) -> None:
+        """End-of-run accounting."""
+        self.cache.finalize()

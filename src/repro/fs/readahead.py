@@ -1,0 +1,82 @@
+"""Digital UNIX sequential read-ahead policy.
+
+From the paper (Section 4): "The automatic read-ahead policy, which was
+invoked by all unhinted read calls, prefetches approximately the same number
+of blocks as have been sequentially read, up to a maximum of 64 blocks."
+
+The policy is tracked per open file (per file descriptor): a run of
+sequential block reads grows the read-ahead window; a non-sequential read
+resets it.  For applications like XDataSlice that issue short sequential
+bursts into a huge file, this policy prefetches aggressively and wastes most
+of it (58 % of prefetched blocks unused in the paper's Table 5) — behaviour
+this implementation reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.fs.filesystem import Inode
+
+
+class ReadAheadState:
+    """Sequentiality state for one open file."""
+
+    __slots__ = ("expected_block", "run_blocks", "prefetched_until")
+
+    def __init__(self) -> None:
+        #: Next file block a sequential read would start at.
+        self.expected_block = 0
+        #: Number of blocks read sequentially in the current run.
+        self.run_blocks = 0
+        #: File blocks below this index have already been scheduled for
+        #: read-ahead in the current run (exclusive bound).
+        self.prefetched_until = 0
+
+
+class SequentialReadAhead:
+    """Computes the read-ahead block list for each unhinted read call."""
+
+    def __init__(self, max_blocks: int = 64) -> None:
+        self.max_blocks = max_blocks
+
+    def new_state(self) -> ReadAheadState:
+        """Fresh per-open-file state (sequential run starts at block 0)."""
+        return ReadAheadState()
+
+    def on_read(
+        self,
+        state: ReadAheadState,
+        inode: Inode,
+        first_block: int,
+        last_block: int,
+    ) -> List[int]:
+        """Update run state for a read of ``[first_block, last_block]``;
+        return file block indices to prefetch (possibly empty)."""
+        if first_block == state.expected_block or (
+            first_block == state.expected_block - 1 and state.run_blocks > 0
+        ):
+            # Sequential continuation.  Only *newly covered* blocks grow
+            # the run: many short reads within one block are one block of
+            # sequential progress, not many ("prefetches approximately
+            # the same number of blocks as have been sequentially read").
+            state.run_blocks += max(0, last_block + 1 - state.expected_block)
+            state.run_blocks = max(state.run_blocks, 1)
+        else:
+            # Run broken: restart.
+            state.run_blocks = last_block - first_block + 1
+            state.prefetched_until = last_block + 1
+        state.expected_block = last_block + 1
+
+        if state.run_blocks < 3:
+            # No established sequential run yet: an isolated read (even a
+            # couple-of-blocks one) does not trigger read-ahead, otherwise
+            # every random read would drag in useless successor blocks.
+            return []
+        window = min(self.max_blocks, state.run_blocks)
+        start = max(last_block + 1, state.prefetched_until)
+        end = min(inode.nblocks, last_block + 1 + window)
+        if start >= end:
+            return []
+        state.prefetched_until = end
+        return list(range(start, end))

@@ -1,0 +1,21 @@
+"""Baseline Unified Buffer Cache manager.
+
+The stock Digital UNIX 3.2 cache manager that TIP replaces: strict LRU
+replacement plus the sequential read-ahead policy.  It ignores hints
+entirely, which also makes it the reference behaviour for Figure 4's
+"TIP configured to ignore hints" experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fs.cache import CacheEntry
+from repro.fs.manager import CacheManagerBase
+
+
+class UbcManager(CacheManagerBase):
+    """LRU replacement; hints are not part of this manager's vocabulary."""
+
+    def find_victim(self) -> Optional[CacheEntry]:
+        return self.cache.find_lru_victim()

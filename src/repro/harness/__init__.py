@@ -1,0 +1,30 @@
+"""Experiment harness.
+
+Builds complete simulated systems (disks -> striping -> cache/TIP -> kernel
+-> application), runs the paper's three benchmarks in their three variants,
+and formats the paper's tables and figures from the collected statistics.
+"""
+
+from repro.harness.config import ExperimentConfig, Variant
+from repro.harness.experiments import (
+    run_cache_size_sweep,
+    run_cpu_ratio_sweep,
+    run_disk_sweep,
+    run_matrix,
+    run_one,
+)
+from repro.harness.results import RunResult
+from repro.harness.runner import build_system, run_experiment
+
+__all__ = [
+    "ExperimentConfig",
+    "Variant",
+    "RunResult",
+    "build_system",
+    "run_experiment",
+    "run_one",
+    "run_matrix",
+    "run_disk_sweep",
+    "run_cache_size_sweep",
+    "run_cpu_ratio_sweep",
+]

@@ -1,0 +1,136 @@
+"""Experiment drivers keyed to the paper's tables and figures."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.harness.config import APPS, ExperimentConfig, Variant
+from repro.harness.results import RunResult
+from repro.harness.runner import run_experiment
+from repro.params import SystemConfig
+
+#: Result matrix: {app: {variant_value: RunResult}}.
+Matrix = Dict[str, Dict[str, RunResult]]
+
+
+def run_one(
+    app: str,
+    variant: Variant,
+    system: Optional[SystemConfig] = None,
+    **kwargs: object,
+) -> RunResult:
+    """Run one (app, variant) pair on the default (or given) system."""
+    cfg = ExperimentConfig(
+        app=app, variant=variant, system=system or SystemConfig(), **kwargs
+    )
+    return run_experiment(cfg)
+
+
+def run_matrix(
+    apps: Iterable[str] = APPS,
+    variants: Iterable[Variant] = tuple(Variant),
+    system: Optional[SystemConfig] = None,
+    workload_scale: float = 1.0,
+) -> Matrix:
+    """Run every (app, variant) combination — the Figure 3 grid."""
+    base = system or SystemConfig()
+    results: Matrix = {}
+    for app in apps:
+        results[app] = {}
+        for variant in variants:
+            results[app][variant.value] = run_one(
+                app, variant, system=base, workload_scale=workload_scale
+            )
+    return results
+
+
+def run_disk_sweep(
+    ndisks_list: Iterable[int] = (1, 2, 4, 10),
+    apps: Iterable[str] = APPS,
+    variants: Iterable[Variant] = tuple(Variant),
+    workload_scale: float = 1.0,
+) -> Dict[int, Matrix]:
+    """Vary available I/O parallelism — Table 8 and Figure 5."""
+    results: Dict[int, Matrix] = {}
+    for ndisks in ndisks_list:
+        system = SystemConfig()
+        system = system.replace(
+            array=dataclasses.replace(system.array, ndisks=ndisks)
+        )
+        results[ndisks] = run_matrix(
+            apps, variants, system=system, workload_scale=workload_scale
+        )
+    return results
+
+
+def run_cache_size_sweep(
+    cache_mbs: Iterable[float] = (6.0, 12.0, 64.0),
+    apps: Iterable[str] = APPS,
+    variants: Iterable[Variant] = tuple(Variant),
+    workload_scale: float = 1.0,
+) -> Dict[float, Matrix]:
+    """Vary the file cache size — Table 7."""
+    results: Dict[float, Matrix] = {}
+    for mb in cache_mbs:
+        matrix: Matrix = {}
+        for app in apps:
+            matrix[app] = {}
+            for variant in variants:
+                matrix[app][variant.value] = run_experiment(
+                    ExperimentConfig(
+                        app=app,
+                        variant=variant,
+                        cache_paper_mb=mb,
+                        workload_scale=workload_scale,
+                    )
+                )
+        results[mb] = matrix
+    return results
+
+
+def run_cpu_ratio_sweep(
+    ratios: Iterable[float] = (1, 2, 3, 5, 7, 9),
+    apps: Iterable[str] = APPS,
+    variants: Iterable[Variant] = tuple(Variant),
+    workload_scale: float = 1.0,
+) -> Dict[float, Matrix]:
+    """Simulate a widening processor/disk speed gap — Figure 6.
+
+    Following the paper: delay completion notification by the ratio and
+    limit outstanding prefetches to one per disk; the reported elapsed
+    times are then scaled back down by the ratio.
+    """
+    results: Dict[float, Matrix] = {}
+    for ratio in ratios:
+        system = SystemConfig()
+        system = system.replace(
+            array=dataclasses.replace(
+                system.array,
+                completion_delay_factor=float(ratio),
+                max_prefetches_per_disk=1,
+            )
+        )
+        matrix = run_matrix(apps, variants, system=system,
+                            workload_scale=workload_scale)
+        for app_results in matrix.values():
+            for result in app_results.values():
+                # "then scaled our resulting measurements by half" (by the
+                # ratio in general): the faster processor finishes the same
+                # cycle count proportionally sooner.
+                result.cycles = int(result.cycles / ratio)
+        results[ratio] = matrix
+    return results
+
+
+def improvements(matrix: Matrix) -> Dict[str, Dict[str, float]]:
+    """Percent improvement of each hinting variant over the original."""
+    table: Dict[str, Dict[str, float]] = {}
+    for app, by_variant in matrix.items():
+        original = by_variant[Variant.ORIGINAL.value]
+        table[app] = {
+            variant: result.improvement_over(original)
+            for variant, result in by_variant.items()
+            if variant != Variant.ORIGINAL.value
+        }
+    return table

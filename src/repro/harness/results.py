@@ -1,0 +1,168 @@
+"""Run results and derived metrics for the paper's tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class RunResult:
+    """Everything one benchmark run produced."""
+
+    app: str
+    variant: str
+    cycles: int
+    cpu_hz: int
+    counters: Dict[str, int] = field(default_factory=dict)
+    output: bytes = b""
+
+    #: Median cycles between consecutive read calls / hint calls (the
+    #: paper's Section 4.4 dilation analysis).
+    median_read_interval: float = 0.0
+    median_hint_interval: float = 0.0
+
+    #: SpecHint runtime statistics (speculating variant only).
+    spec_restarts: int = 0
+    spec_signals: int = 0
+    spec_cancel_calls: int = 0
+    spec_hints_issued: int = 0
+    spec_parks: Dict[str, int] = field(default_factory=dict)
+    transform_report: Optional[object] = None
+
+    #: Table 6 memory accounting.
+    footprint_bytes: int = 0
+    page_reclaims: int = 0
+    page_faults: int = 0
+
+    # -- elapsed time ---------------------------------------------------------
+
+    @property
+    def elapsed_s(self) -> float:
+        """Simulated elapsed time in seconds."""
+        return self.cycles / self.cpu_hz
+
+    def improvement_over(self, baseline: "RunResult") -> float:
+        """Percent reduction in execution time relative to ``baseline``."""
+        if baseline.cycles <= 0:
+            return 0.0
+        return 100.0 * (baseline.cycles - self.cycles) / baseline.cycles
+
+    # -- counter accessors -------------------------------------------------------
+
+    def c(self, name: str, default: int = 0) -> int:
+        return self.counters.get(name, default)
+
+    # Table 4 -----------------------------------------------------------------
+
+    @property
+    def read_calls(self) -> int:
+        return self.c("app.read_calls")
+
+    @property
+    def read_blocks(self) -> int:
+        return self.c("app.read_blocks")
+
+    @property
+    def read_bytes(self) -> int:
+        return self.c("app.read_bytes")
+
+    @property
+    def write_calls(self) -> int:
+        return self.c("app.write_calls")
+
+    @property
+    def write_blocks(self) -> int:
+        return self.c("app.write_blocks")
+
+    @property
+    def write_bytes(self) -> int:
+        return self.c("app.write_bytes")
+
+    @property
+    def hinted_read_calls(self) -> int:
+        return self.c("tip.hinted_read_calls")
+
+    @property
+    def hinted_read_bytes(self) -> int:
+        return self.c("tip.hinted_read_bytes")
+
+    @property
+    def hinted_blocks_consumed(self) -> int:
+        return self.c("tip.hints_consumed")
+
+    @property
+    def pct_calls_hinted(self) -> float:
+        return 100.0 * self.hinted_read_calls / self.read_calls if self.read_calls else 0.0
+
+    @property
+    def pct_blocks_hinted(self) -> float:
+        if not self.read_blocks:
+            return 0.0
+        return min(100.0, 100.0 * self.hinted_blocks_consumed / self.read_blocks)
+
+    @property
+    def pct_bytes_hinted(self) -> float:
+        return 100.0 * self.hinted_read_bytes / self.read_bytes if self.read_bytes else 0.0
+
+    @property
+    def inaccurate_hints(self) -> int:
+        """Hints issued that never matched a read (cancelled + stale +
+        unconsumed at the end of the run)."""
+        return (
+            self.c("tip.hints_cancelled")
+            + self.c("tip.hints_stale_dropped")
+            + self.c("tip.hints_unconsumed_at_end")
+        )
+
+    # Table 5 -------------------------------------------------------------------
+
+    @property
+    def cache_block_reads(self) -> int:
+        return self.c("cache.block_reads")
+
+    @property
+    def prefetched_blocks(self) -> int:
+        return self.c("cache.prefetched_blocks")
+
+    @property
+    def prefetched_fully(self) -> int:
+        return self.c("cache.prefetched_fully")
+
+    @property
+    def prefetched_partially(self) -> int:
+        return self.c("cache.prefetched_partial")
+
+    @property
+    def prefetched_unused(self) -> int:
+        return self.c("cache.prefetched_unused")
+
+    @property
+    def cache_block_reuses(self) -> int:
+        return self.c("cache.block_reuses")
+
+    # Section 4.4 dilation ------------------------------------------------------
+
+    @property
+    def dilation_factor(self) -> float:
+        """Median hint interval / median read interval (> 1 mainly due to
+        COW checks during speculative execution)."""
+        if self.median_read_interval <= 0 or self.median_hint_interval <= 0:
+            return 0.0
+        return self.median_hint_interval / self.median_read_interval
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{self.app}/{self.variant}: {self.elapsed_s:.2f}s simulated, "
+            f"{self.read_calls} reads ({self.pct_calls_hinted:.1f}% hinted), "
+            f"{self.prefetched_blocks} prefetched blocks"
+        )
+
+
+def median_interval(times: List[float]) -> float:
+    """Median gap between consecutive observations of an event-time list."""
+    if len(times) < 2:
+        return 0.0
+    gaps = sorted(b - a for a, b in zip(times, times[1:]))
+    return gaps[len(gaps) // 2]

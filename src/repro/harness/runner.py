@@ -1,0 +1,131 @@
+"""Builds a complete simulated system and runs one benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.apps.agrep import AgrepWorkload, build_agrep
+from repro.apps.gnuld import GnuldWorkload, build_gnuld
+from repro.apps.xdataslice import XdsWorkload, build_xdataslice
+from repro.fs.cache import BlockCache
+from repro.fs.filesystem import FileSystem
+from repro.fs.readahead import SequentialReadAhead
+from repro.harness.config import ExperimentConfig, Variant
+from repro.harness.results import RunResult, median_interval
+from repro.kernel.kernel import Kernel
+from repro.params import SystemConfig
+from repro.sim.clock import SimClock
+from repro.sim.engine import EventEngine
+from repro.sim.stats import StatRegistry
+from repro.spechint.tool import SpecHintTool
+from repro.storage.striping import StripedArray
+from repro.tip.manager import TipManager
+from repro.vm.binary import Binary
+
+
+@dataclass
+class System:
+    """A fully wired simulated machine, ready to spawn processes."""
+
+    config: SystemConfig
+    clock: SimClock
+    engine: EventEngine
+    stats: StatRegistry
+    fs: FileSystem
+    array: StripedArray
+    cache: BlockCache
+    manager: TipManager
+    kernel: Kernel
+
+
+def build_system(config: SystemConfig, fs: FileSystem) -> System:
+    """Wire up disks, striping, cache, TIP and the kernel over ``fs``.
+
+    Call after the file system has been populated (the striped array must
+    cover every allocated block).
+    """
+    clock = SimClock()
+    engine = EventEngine(clock)
+    stats = StatRegistry()
+    array = StripedArray(
+        fs.total_blocks, config.array, config.disk, config.cpu, engine, stats
+    )
+    cache = BlockCache(config.cache.capacity_blocks, stats)
+    readahead = SequentialReadAhead(config.cache.max_readahead_blocks)
+    manager = TipManager(fs, array, cache, readahead, stats, config.tip)
+    kernel = Kernel(config, fs, manager, array, engine, clock, stats)
+    return System(config, clock, engine, stats, fs, array, cache, manager, kernel)
+
+
+def _build_postgres(selectivity_pct: int):
+    from repro.apps.postgres import PostgresWorkload, build_postgres
+
+    def build(fs: FileSystem, scale: float, manual: bool) -> Binary:
+        workload = PostgresWorkload(selectivity_pct=selectivity_pct)
+        return build_postgres(fs, workload.scaled(scale), manual_hints=manual)
+
+    return build
+
+
+#: Application builders: (fs, workload_scale, manual) -> Binary.
+_BUILDERS: Dict[str, Callable[[FileSystem, float, bool], Binary]] = {
+    "agrep": lambda fs, scale, manual: build_agrep(
+        fs, AgrepWorkload().scaled(scale), manual_hints=manual
+    ),
+    "gnuld": lambda fs, scale, manual: build_gnuld(
+        fs, GnuldWorkload().scaled(scale), manual_hints=manual
+    ),
+    "xds": lambda fs, scale, manual: build_xdataslice(
+        fs, XdsWorkload().scaled(scale), manual_hints=manual
+    ),
+    "postgres20": _build_postgres(20),
+    "postgres80": _build_postgres(80),
+}
+
+
+def run_experiment(cfg: ExperimentConfig) -> RunResult:
+    """Run one benchmark in one configuration; returns the result record."""
+    system_config = cfg.resolved_system()
+    fs = FileSystem(allocation_jitter_blocks=24, seed=system_config.seed)
+    builder = _BUILDERS[cfg.app]
+    binary = builder(fs, cfg.workload_scale, cfg.variant is Variant.MANUAL)
+
+    transform_report = None
+    if cfg.variant is Variant.SPECULATING:
+        tool = SpecHintTool(
+            params=system_config.spechint,
+            map_all_addresses=cfg.map_all_addresses,
+        )
+        binary = tool.transform(binary)
+        transform_report = binary.spec_meta.report
+
+    system = build_system(system_config, fs)
+    process = system.kernel.spawn(binary)
+    system.kernel.run()
+    system.manager.finalize()
+
+    read_dist = system.stats.distribution_or_none("app.read_call_cpu")
+    hint_dist = system.stats.distribution_or_none("app.hint_call_cpu")
+
+    result = RunResult(
+        app=cfg.app,
+        variant=cfg.variant.value,
+        cycles=system.clock.now,
+        cpu_hz=system_config.cpu.hz,
+        counters=system.stats.snapshot(),
+        output=bytes(process.output),
+        median_read_interval=median_interval(read_dist.values) if read_dist else 0.0,
+        median_hint_interval=median_interval(hint_dist.values) if hint_dist else 0.0,
+        transform_report=transform_report,
+        footprint_bytes=process.vmstat.footprint_bytes,
+        page_reclaims=process.vmstat.reclaims,
+        page_faults=process.vmstat.faults,
+    )
+    if process.spec is not None:
+        result.spec_restarts = process.spec.restarts
+        result.spec_signals = process.spec.signals
+        result.spec_cancel_calls = process.spec.cancel_calls
+        result.spec_hints_issued = process.spec.hints_issued
+        result.spec_parks = dict(process.spec.parks)
+    return result

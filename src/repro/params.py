@@ -1,0 +1,279 @@
+"""System-wide configuration parameters.
+
+The defaults model the paper's evaluation platform (Section 4):
+
+* an AlphaStation 255 with a 233 MHz processor;
+* four HP C2247 disks (15 ms average access time) behind a striping
+  pseudodevice with a 64 KB striping unit;
+* a 12 MB file cache managed by TIP (or, for baselines, by the stock
+  Unified Buffer Cache with sequential read-ahead capped at 64 blocks);
+* 8 KB file system blocks (the Digital UNIX block size).
+
+Workloads in this reproduction are scaled down roughly 8x from the paper's
+(see DESIGN.md section 2), so harness configurations usually also scale the
+file cache with :func:`scaled_cache_blocks`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+# File system geometry -------------------------------------------------------
+
+#: Digital UNIX file system block size in bytes.
+BLOCK_SIZE = 8192
+
+#: Striping unit of the paper's striping pseudodevice, in bytes.
+STRIPE_UNIT = 65536
+
+#: Blocks per stripe unit.
+BLOCKS_PER_STRIPE_UNIT = STRIPE_UNIT // BLOCK_SIZE
+
+#: Page size used for footprint accounting (Table 6).
+PAGE_SIZE = 8192
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    """Processor model parameters."""
+
+    #: Clock frequency in Hz (233 MHz AlphaStation 255).
+    hz: int = 233_000_000
+
+    #: Cycles charged for a system call trap + return.
+    syscall_cycles: int = 400
+
+    #: Cycles the original thread spends checking the next hint-log entry
+    #: before each read call (observable overhead, Section 3.2.2).
+    hintlog_check_cycles: int = 60
+
+    #: Cycles the original thread spends saving its registers and setting the
+    #: restart flag when it detects off-track speculation.
+    restart_request_cycles: int = 250
+
+    #: One-time cycles for the initialization routine that (among other
+    #: things) spawns the speculating thread (Section 4.3).
+    spec_init_cycles: int = 120_000
+
+    #: Context switch cost when the scheduler changes threads.
+    context_switch_cycles: int = 150
+
+    #: Cycles per byte to copy read data from the file cache to the
+    #: application's buffer (bcopy bandwidth of the platform).
+    read_copy_cycles_per_byte: float = 0.5
+
+    #: Cycles per byte for write() data copies (write-behind: no disk wait).
+    write_copy_cycles_per_byte: float = 0.5
+
+    #: Path lookup cost for open() (metadata I/O is not simulated;
+    #: the TIP benchmarks hint only data reads).
+    namei_cycles: int = 2_000
+
+    #: Extra cycles for a hint ioctl beyond the syscall trap.
+    hint_call_cycles: int = 150
+
+    #: Cycles to service a page reclaim (referenced page resident but not
+    #: physically mapped — OS intervention, no disk access).
+    page_reclaim_cycles: int = 500
+
+    #: Cycles to service a (soft) page fault on first touch.
+    page_fault_cycles: int = 1_800
+
+    def seconds(self, cycles: int) -> float:
+        """Convert a cycle count to seconds on this processor."""
+        return cycles / self.hz
+
+    def cycles(self, seconds: float) -> int:
+        """Convert seconds to (rounded) cycles on this processor."""
+        return int(round(seconds * self.hz))
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """Model of one HP C2247-class disk.
+
+    The paper quotes a 15 ms average access time.  We split that into a
+    positioning component (seek + rotation) charged for non-sequential
+    accesses and a per-block transfer component.  Sequential accesses that
+    hit the drive's track buffer skip positioning and transfer at the track
+    buffer rate, mirroring the footnote in Section 4.8.
+    """
+
+    #: Average positioning time (seek + rotational latency), seconds.
+    positioning_s: float = 0.012
+
+    #: Sustained media transfer rate, bytes/second.
+    transfer_bps: float = 4_000_000.0
+
+    #: Transfer rate when a read is serviced from the track buffer.
+    track_buffer_bps: float = 10_000_000.0
+
+    #: Number of blocks the drive reads ahead into its track buffer after
+    #: servicing a request.
+    track_readahead_blocks: int = 16
+
+    #: Fixed per-request controller/command overhead, seconds.
+    overhead_s: float = 0.0005
+
+    def media_transfer_s(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` from the platter."""
+        return nbytes / self.transfer_bps
+
+    def buffer_transfer_s(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` from the track buffer."""
+        return nbytes / self.track_buffer_bps
+
+    @staticmethod
+    def scaled(time_scale: float) -> "DiskParams":
+        """A disk that is ``time_scale`` times faster in every dimension.
+
+        The harness scales disk time with the (~8x smaller) workloads so
+        that the ratio of per-stall speculation progress to total run
+        length stays near the paper's; otherwise a single 12 ms stall would
+        let the speculating thread pre-execute a large fraction of a scaled
+        benchmark, which the paper's full-size runs do not allow.
+        """
+        base = DiskParams()
+        return DiskParams(
+            positioning_s=base.positioning_s / time_scale,
+            transfer_bps=base.transfer_bps * time_scale,
+            track_buffer_bps=base.track_buffer_bps * time_scale,
+            track_readahead_blocks=base.track_readahead_blocks,
+            overhead_s=base.overhead_s / time_scale,
+        )
+
+
+@dataclass(frozen=True)
+class ArrayParams:
+    """Striped disk array parameters."""
+
+    #: Number of disks in the array (paper default: 4).
+    ndisks: int = 4
+
+    #: Striping unit in bytes (paper default: 64 KB).
+    stripe_unit: int = STRIPE_UNIT
+
+    #: Multiplier applied to I/O completion *notification* times, used by
+    #: Figure 6 to simulate a widening processor/disk speed gap.  1.0 means
+    #: no delay.
+    completion_delay_factor: float = 1.0
+
+    #: If positive, limit the number of outstanding *prefetch* requests per
+    #: disk (the paper sets this to 1 for the Figure 6 simulation).
+    max_prefetches_per_disk: int = 0
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """File cache parameters."""
+
+    #: Capacity in blocks.  The paper's default cache is 12 MB = 1536 blocks
+    #: of 8 KB; scaled harness configs shrink this with the workloads.
+    capacity_blocks: int = 1536
+
+    #: Maximum read-ahead window of the sequential read-ahead policy, in
+    #: blocks ("up to a maximum of 64 blocks", Section 4).
+    max_readahead_blocks: int = 64
+
+
+@dataclass(frozen=True)
+class TipParams:
+    """TIP cost-benefit manager parameters."""
+
+    #: Prefetch horizon: the deepest point in a process's hint queue that
+    #: TIP will prefetch toward.  Patterson's thesis derives this from the
+    #: ratio of disk time to per-access CPU time; we expose it directly.
+    prefetch_horizon: int = 96
+
+    #: Below this measured hint accuracy, TIP halves the prefetch depth it
+    #: will pursue for the offending process's hints.
+    accuracy_discount_threshold: float = 0.85
+
+    #: If True, TIP ignores all hints and behaves exactly like the baseline
+    #: UBC manager (used for Figure 4).
+    ignore_hints: bool = False
+
+    #: Maximum hinted prefetches TIP keeps in flight per disk.
+    max_inflight_per_disk: int = 4
+
+
+@dataclass(frozen=True)
+class SpecHintParams:
+    """SpecHint transformation and runtime parameters."""
+
+    #: Software copy-on-write region size in bytes.  The paper explored
+    #: 128 B - 8192 B and settled on 1024 B (Section 3.2.1).
+    cow_region_size: int = 1024
+
+    #: Cycles added by the COW check wrapped around each shadow-code load.
+    cow_load_check_cycles: int = 5
+
+    #: Cycles added by the COW check wrapped around each shadow-code store.
+    cow_store_check_cycles: int = 7
+
+    #: Cycles per byte to copy a region the first time it is written.
+    cow_copy_cycles_per_byte: float = 0.25
+
+    #: Cycles per byte the speculating thread spends copying the original
+    #: thread's stack when restarting speculation.
+    restart_stack_copy_cycles_per_byte: float = 0.25
+
+    #: Fixed cycles for the rest of the restart bookkeeping (cancel call,
+    #: clearing the COW map, reloading registers).
+    restart_fixed_cycles: int = 4000
+
+    #: Divisor applied to COW check costs inside the hand-optimized shadow
+    #: string routines (strncpy/memcpy analogues, Section 3.3).
+    optimized_stdlib_check_divisor: int = 8
+
+    #: How many instructions the speculating thread executes between polls
+    #: of the restart flag.
+    restart_poll_interval: int = 32
+
+    #: Throttle (Section 5 future work): after this many CANCEL_ALL calls,
+    #: disable speculation for ``throttle_disable_reads`` read calls.  0
+    #: disables the throttle (the paper's default configuration).
+    throttle_cancel_limit: int = 0
+
+    #: Number of original-thread read calls for which speculation stays
+    #: disabled once the throttle trips.
+    throttle_disable_reads: int = 32
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete configuration of one simulated machine."""
+
+    cpu: CpuParams = dataclasses.field(default_factory=CpuParams)
+    disk: DiskParams = dataclasses.field(default_factory=DiskParams)
+    array: ArrayParams = dataclasses.field(default_factory=ArrayParams)
+    cache: CacheParams = dataclasses.field(default_factory=CacheParams)
+    tip: TipParams = dataclasses.field(default_factory=TipParams)
+    spechint: SpecHintParams = dataclasses.field(default_factory=SpecHintParams)
+
+    #: Number of CPUs.  1 reproduces the paper; 2 enables the Section 5
+    #: multiprocessor extension (speculating thread runs concurrently).
+    ncpus: int = 1
+
+    #: RNG seed for every stochastic component (disk layout jitter, dataset
+    #: generation uses its own seeds in the workload generators).
+    seed: int = 1999
+
+    def replace(self, **kwargs: object) -> "SystemConfig":
+        """Return a copy with top-level fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
+def cache_blocks_for_bytes(nbytes: int) -> int:
+    """Number of cache blocks covering ``nbytes``."""
+    return max(1, nbytes // BLOCK_SIZE)
+
+
+def scaled_cache_blocks(paper_mb: float, scale: float = 8.0) -> int:
+    """Cache capacity in blocks for a paper cache of ``paper_mb`` megabytes.
+
+    Workloads in this reproduction are scaled down by ``scale`` relative to
+    the paper's, so a paper 12 MB cache becomes 12/8 = 1.5 MB here.
+    """
+    return max(8, int(paper_mb * 1024 * 1024 / scale) // BLOCK_SIZE)

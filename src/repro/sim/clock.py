@@ -1,0 +1,54 @@
+"""The simulation clock.
+
+Time is an integer number of processor cycles.  Using integer cycles (rather
+than float seconds) keeps event ordering exact and the simulation perfectly
+deterministic; seconds are derived on demand for reporting.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """Monotonically advancing cycle counter.
+
+    The clock may only move forward.  Components read :attr:`now` freely and
+    advance it via :meth:`advance` (relative) or :meth:`advance_to`
+    (absolute).
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start}")
+        #: Current simulation time in cycles.
+        self.now: int = start
+
+    def advance(self, cycles: int) -> int:
+        """Move time forward by ``cycles`` and return the new time."""
+        if cycles < 0:
+            raise SimulationError(f"cannot advance clock by negative {cycles} cycles")
+        self.now += cycles
+        return self.now
+
+    def advance_to(self, when: int) -> int:
+        """Move time forward to the absolute time ``when``.
+
+        Advancing to the present is a no-op; advancing to the past is an
+        error because it would break event ordering.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"cannot move clock backwards from {self.now} to {when}"
+            )
+        self.now = when
+        return self.now
+
+    def seconds(self, hz: int) -> float:
+        """Current time in seconds on a processor running at ``hz``."""
+        return self.now / hz
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self.now})"

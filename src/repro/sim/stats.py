@@ -1,0 +1,127 @@
+"""Statistics collection.
+
+Each simulated subsystem owns named counters and distributions registered in
+one :class:`StatRegistry` per simulation, which the harness snapshots at the
+end of a run to build the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing (or explicitly adjustable) named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: int = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increase the count by ``amount``."""
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Distribution:
+    """Streaming distribution of integer observations.
+
+    Keeps every observation (runs are small enough) so exact medians and
+    percentiles — which the paper reports, e.g. median cycles between read
+    calls — are available.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Exact percentile by nearest-rank on the sorted observations."""
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        if pct <= 0:
+            return ordered[0]
+        if pct >= 100:
+            return ordered[-1]
+        rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def __repr__(self) -> str:
+        return f"Distribution({self.name}, n={self.count}, median={self.median})"
+
+
+class StatRegistry:
+    """Namespace of counters and distributions for one simulation."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._distributions: Dict[str, Distribution] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get (creating on first use) the counter called ``name``."""
+        found = self._counters.get(name)
+        if found is None:
+            found = Counter(name)
+            self._counters[name] = found
+        return found
+
+    def distribution(self, name: str) -> Distribution:
+        """Get (creating on first use) the distribution called ``name``."""
+        found = self._distributions.get(name)
+        if found is None:
+            found = Distribution(name)
+            self._distributions[name] = found
+        return found
+
+    def get(self, name: str, default: int = 0) -> int:
+        """Current value of a counter, without creating it."""
+        found = self._counters.get(name)
+        return found.value if found is not None else default
+
+    def counters(self) -> Iterator[Tuple[str, int]]:
+        """Iterate (name, value) over all counters, sorted by name."""
+        for name in sorted(self._counters):
+            yield name, self._counters[name].value
+
+    def distribution_or_none(self, name: str) -> Optional[Distribution]:
+        """The named distribution if any observations were made."""
+        return self._distributions.get(name)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy of all counter values."""
+        return {name: counter.value for name, counter in self._counters.items()}

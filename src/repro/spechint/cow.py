@@ -1,0 +1,195 @@
+"""Software-enforced copy-on-write (Section 3.2.1).
+
+Inspired by software fault isolation, every load and store the speculating
+thread executes is checked against a map of copied memory regions:
+
+* a store to a region that has not been copied first copies the region,
+  then writes the copy;
+* a load reads the copy when one exists (the "current" value with respect
+  to speculative execution), otherwise main memory.
+
+The original thread's memory is therefore never modified by speculation.
+Region size is configurable (the paper explored 128 B - 8192 B and uses
+1024 B); the check costs are charged as extra cycles on the shadow code's
+``COW_*`` instructions, and first-copy costs are returned from the store
+path so the machine can charge them.
+
+Accesses to unmapped addresses raise
+:class:`~repro.vm.machine.SpeculationFault`, which the machine converts to
+a simulated signal (speculation halts until the next restart).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.kernel.vmstat import PageAccounting
+from repro.params import PAGE_SIZE, SpecHintParams
+from repro.vm.machine import SpeculationFault
+from repro.vm.memory import MASK64, AddressSpace
+
+#: Synthetic page-number base for COW copies in footprint accounting.
+_COW_PAGE_BASE = 1 << 42
+
+
+class CowMap:
+    """The copy-on-write data structure of one speculation era."""
+
+    def __init__(
+        self,
+        mem: AddressSpace,
+        params: SpecHintParams,
+        vmstat: Optional[PageAccounting] = None,
+    ) -> None:
+        self.mem = mem
+        self.region_size = params.cow_region_size
+        self._copy_cost_per_region = max(
+            1, int(params.cow_region_size * params.cow_copy_cycles_per_byte)
+        )
+        self.vmstat = vmstat
+        self._copies: Dict[int, bytearray] = {}
+        #: Lifetime counters (across clears).
+        self.regions_copied_total = 0
+        self.bytes_copied_total = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def clear(self) -> None:
+        """Discard all copies (done when speculation restarts)."""
+        self._copies.clear()
+
+    @property
+    def copied_regions(self) -> int:
+        return len(self._copies)
+
+    @property
+    def copied_bytes(self) -> int:
+        return len(self._copies) * self.region_size
+
+    def is_copied(self, addr: int) -> bool:
+        return (addr // self.region_size) in self._copies
+
+    # -- internals ------------------------------------------------------------
+
+    def _check(self, addr: int, length: int) -> None:
+        if not self.mem.valid(addr, length):
+            raise SpeculationFault(f"speculative access to [{addr:#x}+{length}]")
+
+    def _ensure_copied(self, region: int) -> int:
+        """Copy a region on first write; returns the cycle cost incurred."""
+        if region in self._copies:
+            return 0
+        size = self.region_size
+        base = region * size
+        self._copies[region] = bytearray(self.mem.raw_read(base, size))
+        self.regions_copied_total += 1
+        self.bytes_copied_total += size
+        if self.vmstat is not None:
+            # COW copies occupy real memory: account them as distinct pages.
+            first = _COW_PAGE_BASE + (region * size) // PAGE_SIZE
+            last = _COW_PAGE_BASE + (region * size + size - 1) // PAGE_SIZE
+            for page in range(first, last + 1):
+                self.vmstat.touch_page(page)
+        return self._copy_cost_per_region
+
+    def _read(self, addr: int, length: int) -> bytes:
+        self._check(addr, length)
+        size = self.region_size
+        first = addr // size
+        last = (addr + length - 1) // size
+        if first == last:
+            copy = self._copies.get(first)
+            if copy is None:
+                return self.mem.raw_read(addr, length)
+            off = addr - first * size
+            return bytes(copy[off:off + length])
+        # Range spans regions: assemble piecewise.
+        out = bytearray()
+        cursor = addr
+        remaining = length
+        while remaining > 0:
+            region = cursor // size
+            off = cursor - region * size
+            chunk = min(remaining, size - off)
+            copy = self._copies.get(region)
+            if copy is None:
+                out += self.mem.raw_read(cursor, chunk)
+            else:
+                out += copy[off:off + chunk]
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def _write(self, addr: int, payload: bytes) -> int:
+        """Write through COW; returns extra cycles from first-copies."""
+        self._check(addr, len(payload))
+        size = self.region_size
+        extra = 0
+        cursor = addr
+        index = 0
+        remaining = len(payload)
+        while remaining > 0:
+            region = cursor // size
+            off = cursor - region * size
+            chunk = min(remaining, size - off)
+            extra += self._ensure_copied(region)
+            self._copies[region][off:off + chunk] = payload[index:index + chunk]
+            cursor += chunk
+            index += chunk
+            remaining -= chunk
+        return extra
+
+    # -- word/byte interface (machine COW_* handlers) ------------------------------
+
+    def load_word(self, addr: int) -> int:
+        return int.from_bytes(self._read(addr, 8), "little")
+
+    def store_word(self, addr: int, value: int) -> int:
+        return self._write(addr, (value & MASK64).to_bytes(8, "little"))
+
+    def load_byte(self, addr: int) -> int:
+        return self._read(addr, 1)[0]
+
+    def store_byte(self, addr: int, value: int) -> int:
+        return self._write(addr, bytes((value & 0xFF,)))
+
+    # -- bulk interface (SpecHint runtime) -------------------------------------------
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        """Speculation-visible bytes (used for path strings and the like)."""
+        return self._read(addr, length)
+
+    def write_bytes(self, addr: int, payload: bytes) -> int:
+        """Bulk speculative write (e.g. cached read data into a buffer);
+        returns first-copy cycle costs."""
+        return self._write(addr, payload)
+
+    def read_cstring(self, addr: int, max_len: int = 4096) -> bytes:
+        """NUL-terminated string as speculation sees it."""
+        out = bytearray()
+        for i in range(max_len):
+            byte = self.load_byte(addr + i)
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+        raise SpeculationFault(f"unterminated speculative string at {addr:#x}")
+
+    def precopy_range(self, addr: int, length: int) -> int:
+        """Eagerly copy every region covering [addr, addr+length).
+
+        Used for the restart-time stack copy: the speculating thread works
+        on a private copy of the original thread's stack, which also lets
+        stack-relative accesses skip COW checks (paper footnote 3).
+        Returns the number of bytes copied.
+        """
+        if length <= 0:
+            return 0
+        self._check(addr, length)
+        size = self.region_size
+        first = addr // size
+        last = (addr + length - 1) // size
+        copied = 0
+        for region in range(first, last + 1):
+            if self._ensure_copied(region):
+                copied += size
+        return copied

@@ -1,0 +1,53 @@
+"""Transformation statistics (the paper's Table 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TransformReport:
+    """What the SpecHint tool did to one binary."""
+
+    binary_name: str
+    #: Wall-clock seconds the transformation took (Table 3 "Modification time").
+    modification_time_s: float
+
+    #: Original executable size in bytes.
+    original_size_bytes: int
+    #: Transformed executable size in bytes (shadow code + SpecHint runtime
+    #: objects + threading libraries).
+    transformed_size_bytes: int
+
+    #: Instruction counts.
+    original_insns: int
+    shadow_insns: int
+
+    #: Transformation detail counters.
+    loads_wrapped: int
+    stores_wrapped: int
+    stack_relative_skipped: int
+    cwork_dilated: int
+    static_transfers_redirected: int
+    dynamic_transfers_routed: int
+    jump_tables_remapped: int
+    jump_tables_unrecognized: int
+    output_calls_stripped: int
+    reads_substituted: int
+    syscalls_guarded: int
+
+    @property
+    def size_increase_pct(self) -> float:
+        """Percentage growth of the executable (Table 3 "% increase in size")."""
+        if self.original_size_bytes <= 0:
+            return 0.0
+        growth = self.transformed_size_bytes - self.original_size_bytes
+        return 100.0 * growth / self.original_size_bytes
+
+    def row(self) -> str:
+        """One formatted Table 3 row."""
+        return (
+            f"{self.binary_name:<12} {self.modification_time_s:>8.3f}s "
+            f"{self.transformed_size_bytes / 1024:>10,.0f} KB "
+            f"{self.size_increase_pct:>8.0f}%"
+        )

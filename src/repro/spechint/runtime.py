@@ -1,0 +1,434 @@
+"""Per-process SpecHint runtime (Sections 3.2.1 and 3.2.2).
+
+This module is the runtime half of the contribution: everything the
+SpecHint auxiliary objects do in the paper.
+
+Original-thread side (called from the kernel's read path):
+
+* check the next hint log entry before each read (cheap, observable cost);
+* on a mismatch or an empty log, save the registers and set the restart
+  flag *before* issuing the read, so the speculating thread can restart
+  while the original thread is stalled.
+
+Speculating-thread side (called from the machine's shadow opcodes):
+
+* ``SPEC_READ`` — append a prediction to the hint log, issue a TIP hint
+  for data-returning reads, copy any already-cached bytes into the (COW)
+  destination buffer, and continue without blocking;
+* ``SPEC_SYSCALL`` — enforce the paper's side-effect rules: fstat/sbrk and
+  the hint ioctls are allowed; open/close/lseek are emulated in user space
+  against a *speculative fd table*; writes are suppressed; anything else
+  parks speculation;
+* restart protocol — cancel outstanding hints (``TIPIO_CANCEL_ALL``),
+  clear the COW map, copy the original thread's stack, load the saved
+  registers, and jump to the shadow instruction after the blocking read;
+* signals — faults during speculation are counted and park the thread
+  until the next restart.
+
+The speculative fd table is how hints can be generated for files the
+original thread has not opened yet (Agrep's whole benefit depends on it):
+a speculative ``open`` binds a pseudo-fd to the named file, and speculative
+reads on pseudo-fds issue ``TIPIO_SEG`` (by name) hints, while reads on
+inherited real fds issue ``TIPIO_FD_SEG`` hints.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.errors import FileNotFoundInFS
+from repro.fs.filesystem import Inode
+from repro.params import BLOCK_SIZE
+from repro.spechint.cow import CowMap
+from repro.spechint.hintlog import HintLog
+from repro.spechint.throttle import SpeculationThrottle
+from repro.spechint.tool import SpecMeta
+from repro.tip.hints import Ioctl
+from repro.vm.isa import (
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+    SYS_CANCEL_ALL,
+    SYS_CLOSE,
+    SYS_EXIT,
+    SYS_FSTAT,
+    SYS_HINT_FD_SEG,
+    SYS_HINT_SEG,
+    SYS_LSEEK,
+    SYS_OPEN,
+    SYS_SBRK,
+    SYS_WRITE,
+    Reg,
+    to_signed,
+)
+from repro.vm.machine import SpeculationFault
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.process import Process
+    from repro.kernel.thread import Thread
+
+_STOPPED = -1
+
+V0 = int(Reg.v0)
+A0 = int(Reg.a0)
+A1 = int(Reg.a1)
+A2 = int(Reg.a2)
+SP = int(Reg.sp)
+
+#: First pseudo file descriptor handed out by speculative open().
+FIRST_PSEUDO_FD = 1000
+
+#: Cycles for the cheap bookkeeping around each speculative read.
+SPEC_READ_BASE_CYCLES = 80
+
+
+class SpecFd:
+    """Speculating thread's view of one file descriptor."""
+
+    __slots__ = ("inode", "offset", "pseudo", "path")
+
+    def __init__(self, inode: Optional[Inode], offset: int, pseudo: bool, path: str) -> None:
+        self.inode = inode
+        self.offset = offset
+        #: True when this fd exists only speculatively (spec open()).
+        self.pseudo = pseudo
+        self.path = path
+
+
+class SpecProcessState:
+    """All SpecHint state of one transformed process."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        process: "Process",
+        spec_thread: "Thread",
+        meta: SpecMeta,
+    ) -> None:
+        self.kernel = kernel
+        self.process = process
+        self.thread = spec_thread
+        self.meta = meta
+        self.params = meta.params
+
+        self.cow = CowMap(process.mem, meta.params, vmstat=process.vmstat)
+        self.hint_log = HintLog()
+        self.throttle = SpeculationThrottle(
+            meta.params.throttle_cancel_limit, meta.params.throttle_disable_reads
+        )
+
+        #: Restart handshake (Section 3.2.2).
+        self.restart_flag = False
+        self._saved_regs: Optional[list] = None
+        self._saved_resume_pc = 0  # original-text index after the read
+        self._saved_read_fd = -1
+        self._saved_read_offset = 0
+        self._saved_read_n = 0
+
+        #: Speculative fd table.
+        self.spec_fds: Dict[int, SpecFd] = {}
+        self._next_pseudo_fd = FIRST_PSEUDO_FD
+
+        #: Lifetime statistics.
+        self.restarts = 0
+        self.signals = 0
+        self.cancel_calls = 0
+        self.hints_issued = 0
+        self.predictions = 0
+        self.parks: Dict[str, int] = {}
+
+    # ------------------------------------------------- original-thread side
+
+    def before_read(self, thread: "Thread", fd_num: int, length: int) -> int:
+        """Hint-log check before the original thread issues a read.
+
+        Returns the (observable) cycle cost.
+        """
+        cpu = self.kernel.config.cpu
+        cost = cpu.hintlog_check_cycles
+        process = self.process
+
+        fdstate = process.fds.get(fd_num)
+        ino = fdstate.inode.ino if fdstate is not None and fdstate.inode else -1
+        offset = fdstate.offset if fdstate is not None else 0
+
+        if self.hint_log.check_and_consume(ino, offset, length):
+            return cost  # speculation may still be on track
+
+        # Off track (strayed or behind): request a restart.
+        if not self.throttle.allow_restart():
+            self.kernel.stats.counter("spec.throttle_suppressed").add()
+            return cost
+
+        cost += cpu.restart_request_cycles
+        self._saved_regs = thread.snapshot_regs()
+        self._saved_resume_pc = thread.pc + 1
+        self._saved_read_fd = fd_num
+        self._saved_read_offset = offset
+        if fdstate is not None and fdstate.inode is not None:
+            self._saved_read_n = min(length, max(0, fdstate.inode.size - offset))
+        else:
+            self._saved_read_n = 0
+        self.restart_flag = True
+        self.kernel.stats.counter("spec.restart_requests").add()
+        self._wake_spec_thread()
+        return cost
+
+    def _wake_spec_thread(self) -> None:
+        from repro.kernel.thread import ThreadState
+
+        thread = self.thread
+        if thread.state is ThreadState.SPEC_IDLE:
+            thread.state = ThreadState.RUNNABLE
+            # Guarantee the restart-flag poll fires before any instruction
+            # executes (the parked pc may point into the weeds).
+            thread.poll_counter = self.params.restart_poll_interval
+            thread.cwork_remaining = 0
+
+    # ------------------------------------------------ speculating-thread side
+
+    def perform_restart(self, thread: "Thread") -> int:
+        """Restart speculation from the saved original-thread state.
+
+        Returns the cycle cost (cancel call + COW clear + stack copy +
+        register reload), charged to the speculating thread.
+        """
+        self.restart_flag = False
+        self.restarts += 1
+        self.kernel.stats.counter("spec.restarts").add()
+
+        # Cancel outstanding hints (the CANCEL_ALL call added to TIP).
+        cancelled = self.kernel.manager.cancel_all(self.process.pid)
+        self.cancel_calls += 1
+        self.kernel.stats.counter("spec.cancel_calls").add()
+        self.throttle.note_cancel(cancelled)
+
+        self.cow.clear()
+        self.hint_log.reset()
+
+        # Rebuild the speculative fd table from the real one, applying the
+        # effect of the read the original thread is blocked on.
+        self.spec_fds = {
+            fd: SpecFd(state.inode, state.offset, False, state.path)
+            for fd, state in self.process.fds.items()
+            if state.inode is not None
+        }
+        saved_fd = self._saved_read_fd
+        if saved_fd in self.spec_fds:
+            resumed = self._saved_read_offset + self._saved_read_n
+            if self.spec_fds[saved_fd].offset < resumed:
+                self.spec_fds[saved_fd].offset = resumed
+
+        if self._saved_regs is None:
+            # No saved state (cannot normally happen: the flag is only set
+            # by before_read, which saves first).  Park defensively.
+            self.park(thread, "no_saved_state")
+            return self.params.restart_fixed_cycles
+
+        thread.load_regs(self._saved_regs)
+        thread.regs[V0] = self._saved_read_n  # the read's (predicted) result
+        thread.pc = self.meta.to_shadow(self._saved_resume_pc)
+        thread.poll_counter = 0
+        thread.cwork_remaining = 0
+
+        # Copy the original thread's stack (pre-copied COW regions).
+        sp = thread.regs[SP]
+        stack_bytes = 0
+        mem = self.process.mem
+        if mem.stack_limit <= sp <= mem.stack_top:
+            stack_bytes = self.cow.precopy_range(sp, mem.stack_top - sp)
+
+        cost = self.params.restart_fixed_cycles + int(
+            stack_bytes * self.params.restart_stack_copy_cycles_per_byte
+        )
+        return cost
+
+    def spec_read(self, thread: "Thread") -> int:
+        """SPEC_READ: hint + predict + non-blocking data peek."""
+        regs = thread.regs
+        fd_num = regs[A0]
+        buf = regs[A1]
+        length = regs[A2]
+        cost = SPEC_READ_BASE_CYCLES
+        cpu = self.kernel.config.cpu
+
+        sfd = self.spec_fds.get(fd_num)
+        if sfd is None or sfd.inode is None:
+            raise SpeculationFault(f"speculative read on unknown fd {fd_num}")
+
+        inode = sfd.inode
+        offset = sfd.offset
+        n = min(length, max(0, inode.size - offset))
+
+        # Record the prediction; the original thread matches on the
+        # requested length at the same offset.
+        hinted = n > 0
+        self.hint_log.append(inode.ino, offset, length, hinted)
+        self.predictions += 1
+
+        if hinted:
+            via = Ioctl.TIPIO_SEG if sfd.pseudo else Ioctl.TIPIO_FD_SEG
+            self.kernel.hint_from(self.process.pid, inode, offset, n, via)
+            self.hints_issued += 1
+            self.kernel.stats.counter("spec.hints_issued").add()
+            self.kernel.stats.distribution("app.hint_call_cpu").observe(
+                thread.cpu_cycles
+            )
+            cost += cpu.syscall_cycles + cpu.hint_call_cycles
+
+            # Copy whatever is already cached into the (COW) buffer so that
+            # speculation can follow data dependencies once the data has
+            # arrived; uncached portions keep their stale contents.
+            cost += self._peek_copy(inode, offset, n, buf)
+
+        regs[V0] = n
+        sfd.offset = offset + n
+        thread.pc += 1
+        return cost
+
+    def _peek_copy(self, inode: Inode, offset: int, n: int, buf: int) -> int:
+        """Copy cached blocks of [offset, offset+n) into the buffer copy."""
+        cpu = self.kernel.config.cpu
+        manager = self.kernel.manager
+        cost = 0
+        first = offset // BLOCK_SIZE
+        last = (offset + n - 1) // BLOCK_SIZE
+        for file_block in range(first, last + 1):
+            cost += 4  # residency probe
+            if not manager.peek_valid(inode, file_block):
+                continue
+            block_start = max(offset, file_block * BLOCK_SIZE)
+            block_end = min(offset + n, (file_block + 1) * BLOCK_SIZE)
+            payload = inode.read_at(block_start, block_end - block_start)
+            cost += self.cow.write_bytes(buf + (block_start - offset), payload)
+            cost += int(len(payload) * cpu.read_copy_cycles_per_byte)
+        return cost
+
+    def spec_syscall(self, thread: "Thread", num: int) -> int:
+        """SPEC_SYSCALL: the side-effect filter of Section 3.2.1."""
+        regs = thread.regs
+        cpu = self.kernel.config.cpu
+
+        if num == SYS_OPEN:
+            # User-space emulation against the speculative fd table.
+            path_bytes = self.cow.read_cstring(regs[A0])
+            try:
+                path = path_bytes.decode("ascii")
+            except UnicodeDecodeError:
+                path = ""
+            inode = self.kernel.fs.lookup_or_none(path) if path else None
+            if inode is None:
+                regs[V0] = (1 << 64) - 1
+            else:
+                fd = self._next_pseudo_fd
+                self._next_pseudo_fd += 1
+                self.spec_fds[fd] = SpecFd(inode, 0, True, path)
+                regs[V0] = fd
+            thread.pc += 1
+            return cpu.namei_cycles // 4  # user-space lookup, no trap
+
+        if num == SYS_CLOSE:
+            self.spec_fds.pop(regs[A0], None)
+            regs[V0] = 0
+            thread.pc += 1
+            return 8
+
+        if num == SYS_LSEEK:
+            sfd = self.spec_fds.get(regs[A0])
+            if sfd is None:
+                raise SpeculationFault(f"speculative lseek on fd {regs[A0]}")
+            offset = to_signed(regs[A1])
+            whence = regs[A2]
+            if whence == SEEK_SET:
+                new = offset
+            elif whence == SEEK_CUR:
+                new = sfd.offset + offset
+            elif whence == SEEK_END:
+                new = (sfd.inode.size if sfd.inode else 0) + offset
+            else:
+                raise SpeculationFault(f"speculative lseek whence {whence}")
+            sfd.offset = max(0, new)
+            regs[V0] = sfd.offset
+            thread.pc += 1
+            return 8
+
+        if num == SYS_FSTAT:
+            # Allowed real system call.
+            sfd = self.spec_fds.get(regs[A0])
+            if sfd is None or sfd.inode is None:
+                raise SpeculationFault(f"speculative fstat on fd {regs[A0]}")
+            regs[V0] = sfd.inode.size
+            thread.pc += 1
+            return cpu.syscall_cycles
+
+        if num == SYS_SBRK:
+            # Allowed, but served by the SpecHint allocator (private heap,
+            # so speculation cannot leak process memory).
+            try:
+                regs[V0] = self.process.mem.spec_sbrk(regs[A0])
+            except Exception as exc:
+                raise SpeculationFault(f"speculative sbrk failed: {exc}") from exc
+            thread.pc += 1
+            return cpu.syscall_cycles
+
+        if num == SYS_WRITE:
+            # Suppressed: pretend success, produce no side effect.
+            regs[V0] = regs[A2]
+            thread.pc += 1
+            self.kernel.stats.counter("spec.writes_suppressed").add()
+            return 4
+
+        if num in (SYS_HINT_SEG, SYS_HINT_FD_SEG, SYS_CANCEL_ALL):
+            # Hint ioctls are always allowed; route through the kernel.
+            return self.kernel.syscall(thread, num)
+
+        if num == SYS_EXIT:
+            return self.park(thread, "spec_exit")
+
+        # Any other system call would be an externally visible side effect.
+        self.kernel.stats.counter("spec.syscalls_blocked").add()
+        return self.park(thread, "forbidden_syscall")
+
+    # -------------------------------------------------------- control transfers
+
+    def resolve_control_target(self, target: int) -> Optional[int]:
+        """The handling routine for dynamically computed control transfers.
+
+        Shadow addresses pass through; original-text *function entries* map
+        to their shadow twins; anything else is unmappable (unless the
+        ``map_all_addresses`` extension is enabled) and the speculating
+        thread must be prevented from leaving the shadow code.
+        """
+        meta = self.meta
+        shadow_lo = meta.shadow_base
+        shadow_hi = meta.shadow_base + meta.original_text_len
+        if shadow_lo <= target < shadow_hi:
+            return target
+        mapped = meta.function_map.get(target)
+        if mapped is not None:
+            return mapped
+        if meta.map_all_addresses and 0 <= target < meta.original_text_len:
+            return meta.to_shadow(target)
+        return None
+
+    # ------------------------------------------------------------ park / signals
+
+    def park(self, thread: "Thread", reason: str) -> int:
+        """Halt speculation until the next restart."""
+        from repro.kernel.thread import ThreadState
+
+        thread.state = ThreadState.SPEC_IDLE
+        thread.stop_reason = "spec_idle"
+        self.parks[reason] = self.parks.get(reason, 0) + 1
+        self.kernel.stats.counter(f"spec.park.{reason}").add()
+        return _STOPPED
+
+    def note_signal(self, thread: "Thread") -> None:
+        """A speculative fault became a signal (Section 3.2.1's handlers)."""
+        from repro.kernel.thread import ThreadState
+
+        self.signals += 1
+        self.kernel.stats.counter("spec.signals").add()
+        thread.state = ThreadState.SPEC_IDLE
+        thread.stop_reason = "spec_idle"

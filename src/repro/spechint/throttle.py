@@ -1,0 +1,59 @@
+"""Cancel-triggered speculation throttle (Section 5, future work).
+
+The paper reports that "even a simple, ad-hoc mechanism — disabling
+speculative execution for a brief time after some number of cancel requests
+have been issued — was sufficient to eliminate the performance penalty of
+performing speculative execution in Gnuld when the I/O system offered no
+parallelism."
+
+The throttle counts cancel requests that actually cancelled outstanding
+hints (erroneous speculation); after ``cancel_limit`` of them, restarts are
+suppressed for the next ``disable_reads`` read calls.  A ``cancel_limit``
+of 0 disables the mechanism (the paper's default configuration).
+"""
+
+from __future__ import annotations
+
+
+class SpeculationThrottle:
+    """Ad-hoc erroneous-speculation damper."""
+
+    def __init__(self, cancel_limit: int, disable_reads: int) -> None:
+        self.cancel_limit = cancel_limit
+        self.disable_reads = disable_reads
+        self._recent_cancels = 0
+        self._disabled_remaining = 0
+        #: Lifetime statistics.
+        self.trips = 0
+        self.suppressed_restarts = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.cancel_limit > 0
+
+    @property
+    def currently_disabled(self) -> bool:
+        return self._disabled_remaining > 0
+
+    def note_cancel(self, hints_cancelled: int) -> None:
+        """Record a CANCEL_ALL that cancelled ``hints_cancelled`` hints."""
+        if not self.enabled or hints_cancelled <= 0:
+            return
+        self._recent_cancels += 1
+        if self._recent_cancels >= self.cancel_limit:
+            self._recent_cancels = 0
+            self._disabled_remaining = self.disable_reads
+            self.trips += 1
+
+    def allow_restart(self) -> bool:
+        """Called per off-track read: may speculation restart now?
+
+        While disabled, each call counts down the disable window.
+        """
+        if not self.enabled:
+            return True
+        if self._disabled_remaining > 0:
+            self._disabled_remaining -= 1
+            self.suppressed_restarts += 1
+            return False
+        return True

@@ -1,0 +1,373 @@
+"""The SpecHint binary modification tool (Section 3.3).
+
+Transforms a SpecVM binary into a *speculating executable*:
+
+1. validates the paper's restrictions (single-threaded, statically linked,
+   relocation information retained);
+2. appends a **shadow copy** of the text section in which
+
+   * loads/stores become ``COW_*`` instructions carrying their
+     software-copy-on-write check cost (stack-relative accesses carry none
+     — the speculating thread runs on a copied stack; accesses inside
+     hand-optimized string routines carry a reduced, loop-optimized cost);
+   * computation phases (``CWORK``) become ``SCWORK`` with the check costs
+     of their declared load/store mix folded in (the source of the paper's
+     *dilation factor*);
+   * statically resolvable control transfers are redirected into the
+     shadow; dynamically computed ones (``JR``/``CALLR``; switches over
+     unrecognized jump tables) are routed through the handling routine;
+   * recognized jump tables are duplicated with shadow targets;
+   * ``read`` system calls become non-blocking ``SPEC_READ`` hint calls;
+     other system calls become ``SPEC_SYSCALL`` (filtered at runtime);
+   * calls to known output routines are stripped;
+
+3. builds the function-address map used by the handling routine (it "can
+   only map function addresses" — the ``map_all_addresses`` option lifts
+   that limitation as an extension ablation);
+4. records Table 3 transformation statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import UnsupportedBinary
+from repro.params import SpecHintParams
+from repro.spechint.report import TransformReport
+from repro.vm.binary import INSN_BYTES, Binary, Function, JumpTable
+from repro.vm.isa import SYS_READ, Insn, Op, Reg
+
+#: Modelled size of the SpecHint auxiliary objects linked into every
+#: speculating executable (dynamic allocator, handling routine, restart
+#: routine, optimized string routines — "generated from 4,000 lines of
+#: assembly" in the paper).
+SPECHINT_RUNTIME_BYTES = 96 * 1024
+
+#: Modelled size of the threading support libraries (the paper links the
+#: POSIX pthreads library into otherwise statically linked binaries).
+THREADING_LIB_BYTES = 420 * 1024
+
+#: Modelled instruction expansion of one wrapped load/store: the check
+#: sequence around each shadow load/store (address mask, table lookup,
+#: conditional branch, redirect) — about five extra instructions.
+COW_CHECK_INSNS = 5
+
+
+@dataclass
+class SpecMeta:
+    """Metadata the runtime needs, attached to the transformed binary."""
+
+    shadow_base: int
+    original_text_len: int
+    #: Original function entry index -> shadow entry index.
+    function_map: Dict[int, int]
+    params: SpecHintParams
+    map_all_addresses: bool = False
+    report: Optional[TransformReport] = None
+    #: Names of output routines whose call sites were stripped.
+    stripped_routines: List[str] = field(default_factory=list)
+
+    def to_shadow(self, original_index: int) -> int:
+        """Map any original text index to its shadow twin (mechanically
+        possible because the shadow is instruction-for-instruction; the
+        *handling routine* still restricts itself to function entries
+        unless map_all_addresses is set)."""
+        return original_index + self.shadow_base
+
+
+class SpeculatingBinary(Binary):
+    """A transformed binary: original text + shadow text + spec metadata."""
+
+    def __init__(self, *args: object, spec_meta: SpecMeta, **kwargs: object) -> None:
+        super().__init__(*args, **kwargs)  # type: ignore[arg-type]
+        self.spec_meta = spec_meta
+
+
+class SpecHintTool:
+    """The binary modification tool."""
+
+    def __init__(
+        self,
+        params: Optional[SpecHintParams] = None,
+        map_all_addresses: bool = False,
+    ) -> None:
+        self.params = params or SpecHintParams()
+        #: Extension ablation: allow the handling routine to map *any*
+        #: original-text address, not just function entries.
+        self.map_all_addresses = map_all_addresses
+
+    # ------------------------------------------------------------------ API
+
+    def transform(self, binary: Binary) -> SpeculatingBinary:
+        """Produce the speculating executable for ``binary``."""
+        started = time.perf_counter()
+        self._validate(binary)
+
+        shadow_base = len(binary.text)
+        counters = _TransformCounters()
+        func_names = self._function_name_by_index(binary)
+
+        # Recognized jump tables get shadow twins; remember the id mapping.
+        jump_tables: List[JumpTable] = list(binary.jump_tables)
+        shadow_table_ids: Dict[int, int] = {}
+        for table in binary.jump_tables:
+            if table.recognized:
+                twin = JumpTable(
+                    len(jump_tables),
+                    [t + shadow_base for t in table.targets],
+                    recognized=True,
+                )
+                jump_tables.append(twin)
+                shadow_table_ids[table.table_id] = twin.table_id
+                counters.jump_tables_remapped += 1
+            else:
+                counters.jump_tables_unrecognized += 1
+
+        shadow_text: List[Insn] = []
+        for index, insn in enumerate(binary.text):
+            func = func_names[index]
+            shadow_text.append(
+                self._transform_insn(
+                    insn, shadow_base, binary, func, shadow_table_ids, counters
+                )
+            )
+
+        text = list(binary.text) + shadow_text
+        functions = list(binary.functions) + [
+            Function(f"{f.name}@shadow", f.entry + shadow_base, f.end + shadow_base)
+            for f in binary.functions
+        ]
+        function_map = {f.entry: f.entry + shadow_base for f in binary.functions}
+
+        elapsed = time.perf_counter() - started
+        report = TransformReport(
+            binary_name=binary.name,
+            modification_time_s=elapsed,
+            original_size_bytes=self.original_size(binary),
+            transformed_size_bytes=self.transformed_size(binary, counters),
+            original_insns=len(binary.text),
+            shadow_insns=len(shadow_text),
+            loads_wrapped=counters.loads_wrapped,
+            stores_wrapped=counters.stores_wrapped,
+            stack_relative_skipped=counters.stack_relative_skipped,
+            cwork_dilated=counters.cwork_dilated,
+            static_transfers_redirected=counters.static_redirected,
+            dynamic_transfers_routed=counters.dynamic_routed,
+            jump_tables_remapped=counters.jump_tables_remapped,
+            jump_tables_unrecognized=counters.jump_tables_unrecognized,
+            output_calls_stripped=counters.output_calls_stripped,
+            reads_substituted=counters.reads_substituted,
+            syscalls_guarded=counters.syscalls_guarded,
+        )
+
+        meta = SpecMeta(
+            shadow_base=shadow_base,
+            original_text_len=len(binary.text),
+            function_map=function_map,
+            params=self.params,
+            map_all_addresses=self.map_all_addresses,
+            report=report,
+            stripped_routines=sorted(binary.output_routines),
+        )
+
+        return SpeculatingBinary(
+            binary.name,
+            text,
+            binary.data,
+            dict(binary.data_symbols),
+            functions,
+            jump_tables,
+            binary.entry_point,
+            output_routines=set(binary.output_routines),
+            optimized_stdlib=set(binary.optimized_stdlib),
+            spec_meta=meta,
+        )
+
+    # -------------------------------------------------------------- pieces
+
+    def _validate(self, binary: Binary) -> None:
+        if not binary.has_relocations:
+            raise UnsupportedBinary(
+                f"{binary.name}: relocation information was stripped"
+            )
+        if not binary.single_threaded:
+            raise UnsupportedBinary(f"{binary.name}: binary is multithreaded")
+        if not binary.statically_linked:
+            raise UnsupportedBinary(f"{binary.name}: binary is dynamically linked")
+        if getattr(binary, "spec_meta", None) is not None:
+            raise UnsupportedBinary(f"{binary.name}: already transformed")
+
+    @staticmethod
+    def _function_name_by_index(binary: Binary) -> List[Optional[str]]:
+        names: List[Optional[str]] = [None] * len(binary.text)
+        for func in binary.functions:
+            for i in range(func.entry, func.end):
+                names[i] = func.name
+        return names
+
+    def _check_costs(self, binary: Binary, func: Optional[str]) -> (int, int):
+        """(load, store) COW check cycle costs within ``func``."""
+        p = self.params
+        load_cost, store_cost = p.cow_load_check_cycles, p.cow_store_check_cycles
+        if func is not None and func in binary.optimized_stdlib:
+            divisor = max(1, p.optimized_stdlib_check_divisor)
+            load_cost = max(1, load_cost // divisor)
+            store_cost = max(1, store_cost // divisor)
+        return load_cost, store_cost
+
+    def _transform_insn(
+        self,
+        insn: Insn,
+        shadow_base: int,
+        binary: Binary,
+        func: Optional[str],
+        shadow_table_ids: Dict[int, int],
+        counters: "_TransformCounters",
+    ) -> Insn:
+        op = insn.op
+        load_cost, store_cost = self._check_costs(binary, func)
+
+        if op in (Op.LOAD, Op.LOADB, Op.STORE, Op.STOREB):
+            is_store = op in (Op.STORE, Op.STOREB)
+            new_op = {
+                Op.LOAD: Op.COW_LOAD,
+                Op.LOADB: Op.COW_LOADB,
+                Op.STORE: Op.COW_STORE,
+                Op.STOREB: Op.COW_STOREB,
+            }[op]
+            if insn.get_meta("stack"):
+                # Stack accesses need no check: the stack was pre-copied at
+                # restart time (paper footnote 3).
+                check = 0
+                counters.stack_relative_skipped += 1
+            else:
+                check = store_cost if is_store else load_cost
+                if is_store:
+                    counters.stores_wrapped += 1
+                else:
+                    counters.loads_wrapped += 1
+            out = insn.clone()
+            out.op = new_op
+            out.d = check
+            return out
+
+        if op is Op.CWORK:
+            total = insn.a + insn.b * load_cost + insn.c * store_cost
+            counters.cwork_dilated += 1
+            return Insn(Op.SCWORK, total, 0, 0, 0, insn.meta)
+
+        if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.JMP):
+            out = insn.clone()
+            out.c = insn.c + shadow_base
+            counters.static_redirected += 1
+            return out
+
+        if op is Op.CALL:
+            target_name = insn.get_meta("call_target")
+            if target_name in binary.output_routines:
+                # Strip output routine calls from the shadow code.
+                counters.output_calls_stripped += 1
+                return Insn(Op.NOP, meta=insn.meta)
+            out = insn.clone()
+            out.c = insn.c + shadow_base
+            counters.static_redirected += 1
+            return out
+
+        if op is Op.JR:
+            counters.dynamic_routed += 1
+            out = insn.clone()
+            out.op = Op.SPEC_JR
+            return out
+
+        if op is Op.CALLR:
+            counters.dynamic_routed += 1
+            out = insn.clone()
+            out.op = Op.SPEC_CALLR
+            return out
+
+        if op is Op.SWITCH:
+            out = insn.clone()
+            shadow_id = shadow_table_ids.get(insn.c)
+            if shadow_id is not None:
+                out.c = shadow_id
+            else:
+                out.op = Op.SPEC_SWITCH
+                counters.dynamic_routed += 1
+            return out
+
+        if op is Op.SYSCALL:
+            if insn.c == SYS_READ:
+                counters.reads_substituted += 1
+                return Insn(Op.SPEC_READ, meta=insn.meta)
+            counters.syscalls_guarded += 1
+            out = insn.clone()
+            out.op = Op.SPEC_SYSCALL
+            return out
+
+        if op is Op.HALT:
+            # HALT is an implicit exit(0): guard it like a syscall.
+            counters.syscalls_guarded += 1
+            return Insn(Op.SPEC_SYSCALL, 0, 0, 1, meta=insn.meta)  # SYS_EXIT
+
+        # Everything else (ALU, LI/LA, NOP...) copies verbatim.  LA of a
+        # function address intentionally keeps the *original* entry: the
+        # constant flows through data like any other value, and the
+        # handling routine maps it when it is used as a jump target.
+        return insn.clone()
+
+    # -------------------------------------------------------- size modelling
+
+    @staticmethod
+    def original_size(binary: Binary) -> int:
+        """Original executable size (honours declared sizes, see below)."""
+        declared = getattr(binary, "declared_size_bytes", None)
+        if declared:
+            return int(declared)
+        return binary.size_bytes
+
+    def transformed_size(self, binary: Binary, counters: "_TransformCounters") -> int:
+        """Model of the speculating executable's size.
+
+        The shadow text grows by the inserted check sequences; the SpecHint
+        auxiliary objects and threading libraries are added.  When the app
+        declares a full-scale size (our benchmark programs declare the
+        paper binaries' sizes, since a SpecVM program is far smaller than
+        a real statically-linked Alpha executable), the shadow expansion is
+        applied to the declared text proportionally.
+        """
+        original = self.original_size(binary)
+        mem_ops = counters.loads_wrapped + counters.stores_wrapped
+        plain = max(1, len(binary.text))
+        expansion_ratio = (plain + mem_ops * COW_CHECK_INSNS) / plain
+
+        declared = getattr(binary, "declared_size_bytes", None)
+        if declared:
+            text_fraction = getattr(binary, "declared_text_fraction", 0.7)
+            shadow_bytes = int(declared * text_fraction * expansion_ratio)
+        else:
+            shadow_bytes = int(binary.text_bytes * expansion_ratio)
+        return original + shadow_bytes + SPECHINT_RUNTIME_BYTES + THREADING_LIB_BYTES
+
+
+class _TransformCounters:
+    """Mutable counters accumulated during one transformation."""
+
+    __slots__ = (
+        "loads_wrapped",
+        "stores_wrapped",
+        "stack_relative_skipped",
+        "cwork_dilated",
+        "static_redirected",
+        "dynamic_routed",
+        "jump_tables_remapped",
+        "jump_tables_unrecognized",
+        "output_calls_stripped",
+        "reads_substituted",
+        "syscalls_guarded",
+    )
+
+    def __init__(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)

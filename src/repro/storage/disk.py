@@ -1,0 +1,158 @@
+"""Single-disk model.
+
+Each disk services one request at a time from a two-level queue (demand
+requests ahead of prefetches).  Service time has three regimes:
+
+* **track-buffer hit** — the block was read ahead into the drive's buffer by
+  a previous access: command overhead + buffer-rate transfer;
+* **sequential** — the block immediately follows the last media access: no
+  positioning, media-rate transfer;
+* **random** — full positioning (seek + rotation) + media-rate transfer.
+
+After every media access the drive reads the following
+``track_readahead_blocks`` blocks into its track buffer, which is how the
+paper's footnote about "faster than modelled transfer rate" for physically
+sequential accesses arises.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.errors import InvalidBlockError
+from repro.params import BLOCK_SIZE, CpuParams, DiskParams
+from repro.sim.engine import EventEngine
+from repro.sim.stats import StatRegistry
+from repro.storage.request import IORequest
+
+
+class Disk:
+    """One simulated disk drive."""
+
+    def __init__(
+        self,
+        disk_id: int,
+        nblocks: int,
+        params: DiskParams,
+        cpu: CpuParams,
+        engine: EventEngine,
+        stats: StatRegistry,
+        on_finish: Callable[[IORequest], None],
+    ) -> None:
+        if nblocks <= 0:
+            raise InvalidBlockError(f"disk {disk_id} must have >0 blocks, got {nblocks}")
+        self.disk_id = disk_id
+        self.nblocks = nblocks
+        self.params = params
+        self.cpu = cpu
+        self.engine = engine
+        self.stats = stats
+        #: Called when the media access finishes (before any notification delay).
+        self.on_finish = on_finish
+
+        self._demand_queue: Deque[IORequest] = deque()
+        self._prefetch_queue: Deque[IORequest] = deque()
+        self._active: Optional[IORequest] = None
+
+        # Head / track-buffer state.
+        self._last_media_block: int = -(10 ** 9)
+        self._buffer_start: int = 0
+        self._buffer_end: int = 0  # exclusive; empty buffer when start == end
+
+        # Per-disk counters.
+        self._prefix = f"disk{disk_id}."
+
+    # -- queueing ----------------------------------------------------------
+
+    def submit(self, request: IORequest) -> None:
+        """Accept a request; starts immediately if the disk is idle."""
+        if not 0 <= request.physical_block < self.nblocks:
+            raise InvalidBlockError(
+                f"block {request.physical_block} outside disk {self.disk_id} "
+                f"(size {self.nblocks})"
+            )
+        request.submit_time = self.engine.clock.now
+        if request.is_demand:
+            self._demand_queue.append(request)
+        else:
+            self._prefetch_queue.append(request)
+        self.stats.counter(self._prefix + "submitted").add()
+        self._maybe_start()
+
+    @property
+    def busy(self) -> bool:
+        """True while a request is being serviced."""
+        return self._active is not None
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting (not counting the active one)."""
+        return len(self._demand_queue) + len(self._prefetch_queue)
+
+    def queued_prefetches(self) -> int:
+        """Waiting prefetch requests (used by the per-disk prefetch limit)."""
+        return len(self._prefetch_queue)
+
+    def promote_queued(self, lbn: int) -> bool:
+        """Move a queued prefetch for ``lbn`` to the demand queue.
+
+        Returns True if a queued request was found and promoted.  The active
+        request cannot be re-prioritized (it is already on the media).
+        """
+        for i, request in enumerate(self._prefetch_queue):
+            if request.lbn == lbn:
+                del self._prefetch_queue[i]
+                request.promote_to_demand()
+                self._demand_queue.append(request)
+                return True
+        return False
+
+    # -- service -----------------------------------------------------------
+
+    def _maybe_start(self) -> None:
+        if self._active is not None:
+            return
+        if self._demand_queue:
+            request = self._demand_queue.popleft()
+        elif self._prefetch_queue:
+            request = self._prefetch_queue.popleft()
+        else:
+            return
+        self._active = request
+        request.start_time = self.engine.clock.now
+        service_cycles = self._service_cycles(request.physical_block)
+        self.stats.counter(self._prefix + "accesses").add()
+        self.stats.distribution(self._prefix + "service_cycles").observe(service_cycles)
+        self.engine.schedule_after(
+            service_cycles,
+            lambda: self._finish(request),
+            label=f"disk{self.disk_id}:finish lbn={request.lbn}",
+        )
+
+    def _service_cycles(self, block: int) -> int:
+        p = self.params
+        if self._buffer_start <= block < self._buffer_end:
+            # Track-buffer hit: no media access, no buffer refill.
+            seconds = p.overhead_s + p.buffer_transfer_s(BLOCK_SIZE)
+            self.stats.counter(self._prefix + "buffer_hits").add()
+        elif block == self._last_media_block + 1:
+            seconds = p.overhead_s + p.media_transfer_s(BLOCK_SIZE)
+            self._after_media_access(block)
+            self.stats.counter(self._prefix + "sequential_accesses").add()
+        else:
+            seconds = p.overhead_s + p.positioning_s + p.media_transfer_s(BLOCK_SIZE)
+            self._after_media_access(block)
+            self.stats.counter(self._prefix + "random_accesses").add()
+        return max(1, self.cpu.cycles(seconds))
+
+    def _after_media_access(self, block: int) -> None:
+        self._last_media_block = block
+        self._buffer_start = block + 1
+        self._buffer_end = min(self.nblocks, block + 1 + self.params.track_readahead_blocks)
+
+    def _finish(self, request: IORequest) -> None:
+        request.finish_time = self.engine.clock.now
+        self._active = None
+        self.on_finish(request)
+        self._maybe_start()

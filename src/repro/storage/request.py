@@ -1,0 +1,89 @@
+"""I/O request types shared by the striping device and the disks."""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+
+class IOKind(enum.Enum):
+    """Why a block is being fetched.
+
+    The distinction matters for scheduling (demand reads bypass queued
+    prefetches) and for the per-disk outstanding-prefetch limit used in the
+    paper's Figure 6 simulation.
+    """
+
+    #: A read the application is stalled on right now.
+    DEMAND = "demand"
+
+    #: A read issued ahead of need (TIP hint-driven or sequential read-ahead).
+    PREFETCH = "prefetch"
+
+
+class IORequest:
+    """One block read moving through the storage stack.
+
+    Attributes
+    ----------
+    lbn:
+        Logical block number in the striped address space.
+    kind:
+        Demand or prefetch.
+    callback:
+        Invoked (with the request) when the requesting layer is *notified*
+        of completion — i.e. after any completion-delay factor.
+    """
+
+    __slots__ = (
+        "lbn",
+        "kind",
+        "callback",
+        "disk_id",
+        "physical_block",
+        "submit_time",
+        "start_time",
+        "finish_time",
+        "notify_time",
+        "done",
+    )
+
+    _COUNTER = 0
+
+    def __init__(
+        self,
+        lbn: int,
+        kind: IOKind,
+        callback: Optional[Callable[["IORequest"], None]] = None,
+    ) -> None:
+        self.lbn = lbn
+        self.kind = kind
+        self.callback = callback
+        #: Filled in by the striping device.
+        self.disk_id: int = -1
+        self.physical_block: int = -1
+        #: Cycle timestamps filled in as the request progresses.
+        self.submit_time: int = -1
+        self.start_time: int = -1
+        self.finish_time: int = -1
+        self.notify_time: int = -1
+        self.done: bool = False
+
+    @property
+    def is_demand(self) -> bool:
+        return self.kind is IOKind.DEMAND
+
+    def promote_to_demand(self) -> None:
+        """Upgrade a queued prefetch to demand priority.
+
+        Happens when the application blocks on a block whose prefetch is
+        already queued — the paper's "partially prefetched" case begins here
+        if the prefetch has already started.
+        """
+        self.kind = IOKind.DEMAND
+
+    def __repr__(self) -> str:
+        return (
+            f"IORequest(lbn={self.lbn}, kind={self.kind.value}, "
+            f"disk={self.disk_id}, done={self.done})"
+        )

@@ -1,0 +1,58 @@
+"""Per-process hint accuracy estimation.
+
+TIP "estimates the benefit of prefetching in response to a hint based on the
+accuracy of previous hints from the application" (Section 2.1).  We track an
+exponentially weighted moving accuracy per process: hints that a subsequent
+read consumes count as accurate; hints that are cancelled (CANCEL_ALL) or
+grow stale without ever matching a read count as inaccurate.
+"""
+
+from __future__ import annotations
+
+
+class HintAccuracyTracker:
+    """EWMA of hint outcomes for one process."""
+
+    def __init__(self, alpha: float = 0.05, initial: float = 1.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value = initial
+        #: Lifetime outcome counts (reported in hinting statistics).
+        self.consumed = 0
+        self.cancelled = 0
+        self.stale = 0
+
+    @property
+    def value(self) -> float:
+        """Current accuracy estimate in [0, 1]."""
+        return self._value
+
+    @property
+    def inaccurate(self) -> int:
+        """Total hints judged inaccurate so far."""
+        return self.cancelled + self.stale
+
+    def observe_consumed(self, n: int = 1) -> None:
+        """A hinted block matched an actual read."""
+        self.consumed += n
+        for _ in range(n):
+            self._value += self.alpha * (1.0 - self._value)
+
+    def observe_cancelled(self, n: int = 1) -> None:
+        """Hinted blocks were cancelled before being consumed."""
+        self.cancelled += n
+        for _ in range(n):
+            self._value += self.alpha * (0.0 - self._value)
+
+    def observe_stale(self, n: int = 1) -> None:
+        """Hinted blocks aged out without ever matching a read."""
+        self.stale += n
+        for _ in range(n):
+            self._value += self.alpha * (0.0 - self._value)
+
+    def __repr__(self) -> str:
+        return (
+            f"HintAccuracyTracker(value={self._value:.3f}, consumed={self.consumed}, "
+            f"cancelled={self.cancelled}, stale={self.stale})"
+        )

@@ -1,0 +1,59 @@
+"""Hint interface types (the paper's Table 2)."""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Tuple
+
+from repro.fs.filesystem import Inode
+from repro.params import BLOCK_SIZE
+
+
+class Ioctl(enum.Enum):
+    """The portion of TIP's ioctl interface the paper uses."""
+
+    #: Hint one or more segments from a named file.
+    TIPIO_SEG = "TIPIO_SEG"
+    #: Hint one or more segments from an open file.
+    TIPIO_FD_SEG = "TIPIO_FD_SEG"
+    #: Cancel all outstanding hints from the issuing process.
+    TIPIO_CANCEL_ALL = "TIPIO_CANCEL_ALL"
+
+
+class HintSegment:
+    """One hinted byte range of one file, resolved to an inode.
+
+    TIP expands the segment to the file blocks it covers; matching against
+    subsequent reads and prefetch scheduling both happen at block
+    granularity.
+    """
+
+    __slots__ = ("inode", "offset", "length", "pid", "via")
+
+    def __init__(self, inode: Inode, offset: int, length: int, pid: int, via: Ioctl) -> None:
+        self.inode = inode
+        self.offset = offset
+        self.length = length
+        self.pid = pid
+        self.via = via
+
+    def block_range(self) -> Tuple[int, int]:
+        """(first, last) file block covered, clamped to the file.
+
+        Returns ``(0, -1)`` for an empty/out-of-file segment.
+        """
+        if self.length <= 0 or self.offset >= self.inode.size:
+            return (0, -1)
+        end = min(self.inode.size, self.offset + self.length)
+        return (self.offset // BLOCK_SIZE, (end - 1) // BLOCK_SIZE)
+
+    def blocks(self) -> List[Tuple[int, int]]:
+        """List of ``(ino, file_block)`` keys the segment covers."""
+        first, last = self.block_range()
+        return [(self.inode.ino, b) for b in range(first, last + 1)]
+
+    def __repr__(self) -> str:
+        return (
+            f"HintSegment({self.inode.path!r}, off={self.offset}, "
+            f"len={self.length}, pid={self.pid}, via={self.via.value})"
+        )

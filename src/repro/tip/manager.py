@@ -1,0 +1,311 @@
+"""The TIP cache manager: hint queues, cost-benefit prefetching, eviction.
+
+Behavioural summary (matching Sections 2.1 and 4 of the paper):
+
+* hints arrive as segments (``TIPIO_SEG`` / ``TIPIO_FD_SEG``) and are
+  expanded to per-block queue entries in disclosure order;
+* TIP prefetches down each process's queue up to an *effective depth* —
+  the prefetch horizon scaled by the process's measured hint accuracy —
+  subject to a per-disk in-flight limit;
+* an arriving read consumes matching queue entries; a read that matches no
+  entry is unhinted and (per the paper) falls through to the sequential
+  read-ahead policy;
+* eviction prefers unhinted LRU blocks; hinted blocks may be evicted only
+  when their hint is far beyond the prefetch horizon;
+* ``TIPIO_CANCEL_ALL`` empties the issuing process's queue (prefetches
+  already issued to the disks proceed and may become unused blocks);
+* in ``ignore_hints`` mode all hint calls are accepted-and-dropped, making
+  TIP behave exactly like the baseline UBC manager (Figure 4).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.fs.cache import BlockCache, BlockKey, CacheEntry, EntryState, FetchOrigin
+from repro.fs.filesystem import FileSystem, Inode
+from repro.fs.manager import CacheManagerBase
+from repro.fs.readahead import SequentialReadAhead
+from repro.params import BLOCK_SIZE, TipParams
+from repro.sim.stats import StatRegistry
+from repro.storage.striping import StripedArray
+from repro.tip.accuracy import HintAccuracyTracker
+from repro.tip.hints import HintSegment
+
+
+class _HintedBlock:
+    """One block-granularity entry in a process's hint queue."""
+
+    __slots__ = ("key", "seq", "skips")
+
+    def __init__(self, key: BlockKey, seq: int) -> None:
+        self.key = key
+        self.seq = seq
+        #: How many reads have scanned past this entry without matching it.
+        self.skips = 0
+
+
+class _ProcessHints:
+    """Hint state for one process."""
+
+    __slots__ = ("queue", "accuracy")
+
+    def __init__(self, accuracy_alpha: float = 0.05) -> None:
+        self.queue: Deque[_HintedBlock] = deque()
+        self.accuracy = HintAccuracyTracker(alpha=accuracy_alpha)
+
+
+class TipManager(CacheManagerBase):
+    """Informed prefetching and caching manager."""
+
+    #: How many queue entries an arriving read scans for a match before the
+    #: call is declared unhinted.  Large enough to cover a batch of hints
+    #: for a whole pass disclosed ahead of interleaved per-file hints.
+    MATCH_WINDOW = 1024
+
+    #: Entries skipped over this many times are declared stale and dropped.
+    STALE_SKIP_LIMIT = 100_000
+
+    def __init__(
+        self,
+        fs: FileSystem,
+        array: StripedArray,
+        cache: BlockCache,
+        readahead: SequentialReadAhead,
+        stats: StatRegistry,
+        params: TipParams,
+    ) -> None:
+        super().__init__(fs, array, cache, readahead, stats)
+        self.params = params
+        self._procs: Dict[int, _ProcessHints] = {}
+        self._next_seq = 0
+        #: Blocks whose hint was already consumed: later reads of the same
+        #: block (segments often span several short reads) still count as
+        #: hinted without consuming fresh queue entries.
+        self._consumed_blocks: Dict[BlockKey, int] = {}
+        #: Keys currently being prefetched because of a hint, mapped to the
+        #: disk servicing them (enforces the per-disk in-flight limit).
+        self._inflight_hint_fetch: Dict[BlockKey, int] = {}
+        self._inflight_per_disk: Dict[int, int] = {}
+        #: Min hint seq per key across all queues, for eviction decisions.
+        self._hinted_seqs: Dict[BlockKey, List[int]] = {}
+
+    # -- hint intake ----------------------------------------------------------
+
+    def _proc(self, pid: int) -> _ProcessHints:
+        state = self._procs.get(pid)
+        if state is None:
+            state = _ProcessHints()
+            self._procs[pid] = state
+        return state
+
+    def hint_segments(self, pid: int, segments: Sequence[HintSegment]) -> int:
+        """Accept hint segments (TIPIO_SEG / TIPIO_FD_SEG)."""
+        self.stats.counter("tip.hint_calls").add()
+        if self.params.ignore_hints:
+            self.stats.counter("tip.hints_ignored").add(len(segments))
+            return 0
+        state = self._proc(pid)
+        accepted = 0
+        for segment in segments:
+            for key in segment.blocks():
+                self._next_seq += 1
+                entry = _HintedBlock(key, self._next_seq)
+                state.queue.append(entry)
+                self._hinted_seqs.setdefault(key, []).append(entry.seq)
+                accepted += 1
+        self.stats.counter("tip.hinted_blocks").add(accepted)
+        if accepted:
+            self._schedule_prefetches(pid)
+        return accepted
+
+    def cancel_all(self, pid: int) -> int:
+        """TIPIO_CANCEL_ALL: drop every outstanding hint from ``pid``."""
+        self.stats.counter("tip.cancel_calls").add()
+        state = self._procs.get(pid)
+        if state is None or not state.queue:
+            return 0
+        cancelled = len(state.queue)
+        for entry in state.queue:
+            self._forget_seq(entry.key, entry.seq)
+        state.queue.clear()
+        state.accuracy.observe_cancelled(cancelled)
+        self.stats.counter("tip.hints_cancelled").add(cancelled)
+        return cancelled
+
+    # -- read-path matching -----------------------------------------------------
+
+    def consume_hints(
+        self,
+        pid: int,
+        inode: Inode,
+        first_block: int,
+        last_block: int,
+        offset: int,
+        length: int,
+    ) -> bool:
+        """Match a read call against the process's hint queue.
+
+        Returns True (the call was hinted) when every block of the call
+        matches a queue entry within the scan window.
+        """
+        if self.params.ignore_hints:
+            return False
+        state = self._procs.get(pid)
+        if state is None:
+            return False
+
+        matched_all = True
+        for file_block in range(first_block, last_block + 1):
+            if not self._consume_one(state, (inode.ino, file_block)):
+                matched_all = False
+        if matched_all:
+            self.stats.counter("tip.hinted_read_calls").add()
+            self.stats.counter("tip.hinted_read_bytes").add(length)
+        self._drop_stale(state)
+        return matched_all
+
+    def _consume_one(self, state: _ProcessHints, key: BlockKey) -> bool:
+        queue = state.queue
+        window = min(self.MATCH_WINDOW, len(queue))
+        for i in range(window):
+            entry = queue[i]
+            if entry.key == key:
+                del queue[i]
+                self._forget_seq(entry.key, entry.seq)
+                state.accuracy.observe_consumed()
+                self.stats.counter("tip.hints_consumed").add()
+                self._remember_consumed(key)
+                return True
+            entry.skips += 1
+        if key in self._consumed_blocks:
+            # A previous read of this block already consumed the hint
+            # entry; the segment still covers this read.
+            return True
+        return False
+
+    def _remember_consumed(self, key: BlockKey) -> None:
+        self._next_seq += 1
+        self._consumed_blocks[key] = self._next_seq
+        if len(self._consumed_blocks) > 4096:
+            # Bound memory: forget the oldest half.
+            ordered = sorted(self._consumed_blocks.items(), key=lambda kv: kv[1])
+            for old_key, _ in ordered[: len(ordered) // 2]:
+                del self._consumed_blocks[old_key]
+
+    def _drop_stale(self, state: _ProcessHints) -> None:
+        queue = state.queue
+        while queue and queue[0].skips > self.STALE_SKIP_LIMIT:
+            entry = queue.popleft()
+            self._forget_seq(entry.key, entry.seq)
+            state.accuracy.observe_stale()
+            self.stats.counter("tip.hints_stale_dropped").add()
+
+    def _forget_seq(self, key: BlockKey, seq: int) -> None:
+        seqs = self._hinted_seqs.get(key)
+        if seqs is None:
+            return
+        try:
+            seqs.remove(seq)
+        except ValueError:
+            return
+        if not seqs:
+            del self._hinted_seqs[key]
+
+    # -- prefetch scheduling ------------------------------------------------------
+
+    def effective_depth(self, pid: int) -> int:
+        """Prefetch depth for this process: horizon scaled by accuracy."""
+        state = self._procs.get(pid)
+        if state is None:
+            return 0
+        accuracy = state.accuracy.value
+        if accuracy >= self.params.accuracy_discount_threshold:
+            return self.params.prefetch_horizon
+        factor = max(0.1, accuracy)
+        return max(4, int(self.params.prefetch_horizon * factor))
+
+    def _schedule_prefetches(self, pid: int) -> None:
+        state = self._procs.get(pid)
+        if state is None or not state.queue:
+            return
+        depth = self.effective_depth(pid)
+        limit = self.params.max_inflight_per_disk
+        scanned = 0
+        for entry in state.queue:
+            if scanned >= depth:
+                break
+            scanned += 1
+            key = entry.key
+            if self.cache.get(key) is not None:
+                continue
+            inode = self.fs.inode(key[0])
+            disk = self.array.disk_of(inode.lbn_of_block(key[1]))
+            if limit > 0 and self._inflight_per_disk.get(disk, 0) >= limit:
+                continue
+            if self.start_prefetch(inode, key[1], FetchOrigin.HINT):
+                self._inflight_hint_fetch[key] = disk
+                self._inflight_per_disk[disk] = self._inflight_per_disk.get(disk, 0) + 1
+                self.stats.counter("tip.prefetches_issued").add()
+
+    def on_block_arrived(self, key: BlockKey) -> None:
+        disk = self._inflight_hint_fetch.pop(key, None)
+        if disk is not None:
+            self._inflight_per_disk[disk] -= 1
+        for pid in self._procs:
+            self._schedule_prefetches(pid)
+
+    def after_read(self, pid: int) -> None:
+        self._schedule_prefetches(pid)
+
+    # -- eviction policy -------------------------------------------------------------
+
+    def find_victim(self) -> Optional[CacheEntry]:
+        """Unhinted LRU block if any; else a hinted block far beyond the
+        prefetch horizon (largest hint distance first); else None."""
+        best_hinted: Optional[CacheEntry] = None
+        best_distance = -1
+        front_seq = self._front_seq()
+        for entry in self.cache.entries():
+            if entry.state is not EntryState.VALID or entry.pinned > 0:
+                continue
+            seqs = self._hinted_seqs.get(entry.key)
+            if not seqs:
+                return entry  # unhinted LRU block: cheapest eviction
+            distance = min(seqs) - front_seq
+            if distance > best_distance:
+                best_distance = distance
+                best_hinted = entry
+        if best_hinted is not None and best_distance > self.params.prefetch_horizon:
+            self.stats.counter("tip.hinted_evictions").add()
+            return best_hinted
+        return None
+
+    def _front_seq(self) -> int:
+        fronts = [
+            state.queue[0].seq for state in self._procs.values() if state.queue
+        ]
+        return min(fronts) if fronts else self._next_seq
+
+    # -- reporting -----------------------------------------------------------------
+
+    def accuracy_of(self, pid: int) -> HintAccuracyTracker:
+        """The accuracy tracker for ``pid`` (creating it if needed)."""
+        return self._proc(pid).accuracy
+
+    def outstanding_hints(self, pid: int) -> int:
+        state = self._procs.get(pid)
+        return len(state.queue) if state is not None else 0
+
+    def finalize(self) -> None:
+        """Unconsumed hints at end of run count as inaccurate."""
+        for pid, state in self._procs.items():
+            leftover = len(state.queue)
+            if leftover:
+                for entry in state.queue:
+                    self._forget_seq(entry.key, entry.seq)
+                state.queue.clear()
+                state.accuracy.observe_stale(leftover)
+                self.stats.counter("tip.hints_unconsumed_at_end").add(leftover)
+        super().finalize()

@@ -1,0 +1,32 @@
+"""SpecVM: the execution substrate standing in for Alpha binaries.
+
+The paper's SpecHint tool rewrites Digital UNIX Alpha binaries.  This
+package provides the synthetic equivalent: a small load/store register ISA
+with text/data/stack sections, a symbol table, function boundaries, jump
+tables, and indirect control transfers — exactly the binary features
+SpecHint's transformations operate on.  Programs (the benchmark
+applications) are written against :class:`~repro.vm.assembler.Assembler`
+and executed by :class:`~repro.vm.machine.Machine` with per-instruction
+cycle accounting on the shared simulation clock.
+"""
+
+from repro.vm.assembler import Assembler
+from repro.vm.binary import Binary, Function, JumpTable
+from repro.vm.disasm import format_insn, listing
+from repro.vm.isa import Insn, Op, Reg
+from repro.vm.machine import Machine
+from repro.vm.memory import AddressSpace
+
+__all__ = [
+    "Assembler",
+    "Binary",
+    "Function",
+    "JumpTable",
+    "Insn",
+    "Op",
+    "Reg",
+    "Machine",
+    "AddressSpace",
+    "format_insn",
+    "listing",
+]

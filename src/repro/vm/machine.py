@@ -1,0 +1,585 @@
+"""The SpecVM interpreter.
+
+Executes one thread at a time against the shared simulation clock.  Two
+execution modes:
+
+* **normal mode** — every instruction's cycle cost advances the global
+  clock; execution returns to the kernel when the thread blocks/exits or
+  when the clock reaches the event engine's horizon (an I/O completion is
+  due, and a higher-priority thread may preempt);
+* **budget mode** — used for the Section 5 multiprocessor extension: the
+  speculating thread runs on a second CPU, consuming a cycle *budget* equal
+  to the wall time that has passed, without advancing the global clock.
+
+Speculative execution faults (bad addresses, division by zero on garbage
+data) are converted to simulated signals: the fault is counted and the
+speculating thread parks until the next restart — the paper's
+signal-handler design (Section 3.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.errors import ArithmeticFault, IllegalAddress, MachineFault, SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.engine import EventEngine
+from repro.vm.isa import (
+    ALU_COST,
+    BRANCH_COST,
+    CALL_COST,
+    MASK64,
+    MEM_COST,
+    SWITCH_COST,
+    Insn,
+    Op,
+    to_signed,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.thread import Thread
+
+
+class SpeculationFault(Exception):
+    """Raised internally when the speculating thread misbehaves (caught by
+    the machine and converted to a simulated signal, never propagated)."""
+
+
+#: Sentinel cost returned by handlers that stopped the thread.
+_STOPPED = -1
+
+#: Dynamic-handling-routine overhead for SPEC_JR / SPEC_CALLR / SPEC_SWITCH.
+_HANDLER_COST = 24
+
+
+class Machine:
+    """Interprets SpecVM instructions for the kernel."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.kernel = kernel
+        self.clock: SimClock = kernel.clock
+        self.engine: EventEngine = kernel.engine
+        self._dispatch: List[Callable[["Thread", Insn], int]] = self._build_dispatch()
+        #: Total instructions executed (all threads).
+        self.instructions = 0
+        #: Cycle charges for page events (paper: speculation's memory
+        #: side effects — reclaims and faults — cost real time).
+        cpu = kernel.config.cpu
+        self._page_event_cost = (0, cpu.page_reclaim_cycles, cpu.page_fault_cycles)
+
+    # ------------------------------------------------------------------ run
+
+    def execute(
+        self,
+        thread: "Thread",
+        budget: Optional[int] = None,
+        until: Optional[int] = None,
+    ) -> str:
+        """Run ``thread`` until it stops; returns the stop reason.
+
+        Reasons: ``"event"`` (normal mode: the event horizon or the
+        ``until`` time slice boundary arrived), ``"budget"`` (budget mode:
+        budget exhausted), ``"blocked"``, ``"exited"``, ``"spec_idle"``
+        (speculation parked).
+        """
+        try:
+            return self._run_inner(thread, budget, until)
+        except SpeculationFault:
+            self._spec_signal(thread)
+            return "spec_idle"
+
+    def _run_inner(
+        self, thread: "Thread", budget: Optional[int], until: Optional[int] = None
+    ) -> str:
+        clock = self.clock
+        engine = self.engine
+        process = thread.process
+        text = process.binary.text
+        dispatch = self._dispatch
+        is_spec = thread.is_spec
+        spec = process.spec
+        poll_interval = 0
+        if is_spec and spec is not None:
+            poll_interval = spec.params.restart_poll_interval
+
+        # Budget tracking lives on the thread so the except path can see it.
+        thread.pending_budget = budget  # type: ignore[attr-defined]
+
+        while True:
+            # Charge any cost deferred from a wakeup (e.g. read-copy cycles).
+            if thread.pending_cost:
+                cost = thread.pending_cost
+                thread.pending_cost = 0
+                if not self._charge(thread, cost, budget):
+                    return "event" if budget is None else "budget"
+                if budget is not None:
+                    budget -= cost
+                    thread.pending_budget = budget  # type: ignore[attr-defined]
+
+            # Drain interruptible computation (CWORK/SCWORK remainder).
+            if thread.cwork_remaining:
+                stopped = self._drain_cwork(thread, budget, until)
+                if stopped is not None:
+                    return stopped
+                if budget is not None:
+                    budget = thread.pending_budget  # type: ignore[attr-defined]
+
+            # Preemption points.
+            if budget is None:
+                horizon = engine.horizon
+                if until is not None and until < horizon:
+                    horizon = until
+                if clock.now >= horizon:
+                    return "event"
+            elif budget <= 0:
+                return "budget"
+
+            # Restart-flag poll (speculating thread only).
+            if poll_interval:
+                thread.poll_counter += 1
+                if thread.poll_counter >= poll_interval:
+                    thread.poll_counter = 0
+                    if spec is not None and spec.restart_flag:
+                        cost = spec.perform_restart(thread)
+                        if not self._charge(thread, cost, budget):
+                            return "event" if budget is None else "budget"
+                        if budget is not None:
+                            budget -= cost
+                            thread.pending_budget = budget  # type: ignore[attr-defined]
+                        continue
+
+            insn = text[thread.pc]
+            self.instructions += 1
+            cost = dispatch[insn.op](thread, insn)
+            if cost == _STOPPED:
+                return thread.stop_reason
+            if cost:
+                thread.cpu_cycles += cost
+                if budget is None:
+                    clock.advance(cost)
+                else:
+                    budget -= cost
+                    thread.spec_clock += cost
+                    thread.pending_budget = budget  # type: ignore[attr-defined]
+
+    def _charge(self, thread: "Thread", cost: int, budget: Optional[int]) -> bool:
+        """Charge cycles outside the main dispatch; True if fully charged."""
+        thread.cpu_cycles += cost
+        if budget is None:
+            self.clock.advance(cost)
+            return True
+        thread.spec_clock += cost
+        return True
+
+    def _drain_cwork(
+        self, thread: "Thread", budget: Optional[int], until: Optional[int] = None
+    ) -> Optional[str]:
+        """Consume pending computation, interruptible at the event horizon
+        (normal mode) or budget boundary.  Returns a stop reason or None."""
+        remaining = thread.cwork_remaining
+        if budget is None:
+            horizon = self.engine.horizon
+            if until is not None and until < horizon:
+                horizon = until
+            room = horizon - self.clock.now
+            if room <= 0:
+                return "event"
+            chunk = remaining if remaining <= room else room
+            self.clock.advance(chunk)
+            thread.cpu_cycles += chunk
+            thread.cwork_remaining = remaining - chunk
+            if thread.cwork_remaining:
+                return "event"
+            return None
+        if budget <= 0:
+            return "budget"
+        chunk = remaining if remaining <= budget else budget
+        thread.spec_clock += chunk
+        thread.cpu_cycles += chunk
+        thread.cwork_remaining = remaining - chunk
+        thread.pending_budget = budget - chunk  # type: ignore[attr-defined]
+        if thread.cwork_remaining:
+            return "budget"
+        return None
+
+    def _spec_signal(self, thread: "Thread") -> None:
+        """Convert a speculative fault to a signal + parked speculation."""
+        spec = thread.process.spec
+        if spec is not None:
+            spec.note_signal(thread)
+        thread.stop_reason = "spec_idle"
+
+    # ------------------------------------------------------------- dispatch
+
+    def _build_dispatch(self) -> List[Callable[["Thread", Insn], int]]:
+        table: List[Callable[["Thread", Insn], int]] = [self._op_invalid] * 64
+        table[Op.NOP] = self._op_nop
+        table[Op.HALT] = self._op_halt
+        table[Op.LI] = self._op_li
+        table[Op.LA] = self._op_li  # identical at runtime
+        table[Op.MOV] = self._op_mov
+        table[Op.ADD] = self._op_add
+        table[Op.SUB] = self._op_sub
+        table[Op.MUL] = self._op_mul
+        table[Op.DIV] = self._op_div
+        table[Op.MOD] = self._op_mod
+        table[Op.AND] = self._op_and
+        table[Op.OR] = self._op_or
+        table[Op.XOR] = self._op_xor
+        table[Op.SHL] = self._op_shl
+        table[Op.SHR] = self._op_shr
+        table[Op.SLT] = self._op_slt
+        table[Op.ADDI] = self._op_addi
+        table[Op.MULI] = self._op_muli
+        table[Op.ANDI] = self._op_andi
+        table[Op.ORI] = self._op_ori
+        table[Op.SHLI] = self._op_shli
+        table[Op.SHRI] = self._op_shri
+        table[Op.SLTI] = self._op_slti
+        table[Op.LOAD] = self._op_load
+        table[Op.STORE] = self._op_store
+        table[Op.LOADB] = self._op_loadb
+        table[Op.STOREB] = self._op_storeb
+        table[Op.BEQ] = self._op_beq
+        table[Op.BNE] = self._op_bne
+        table[Op.BLT] = self._op_blt
+        table[Op.BGE] = self._op_bge
+        table[Op.JMP] = self._op_jmp
+        table[Op.JR] = self._op_jr
+        table[Op.CALL] = self._op_call
+        table[Op.CALLR] = self._op_callr
+        table[Op.SWITCH] = self._op_switch
+        table[Op.SYSCALL] = self._op_syscall
+        table[Op.CWORK] = self._op_cwork
+        table[Op.COW_LOAD] = self._op_cow_load
+        table[Op.COW_STORE] = self._op_cow_store
+        table[Op.COW_LOADB] = self._op_cow_loadb
+        table[Op.COW_STOREB] = self._op_cow_storeb
+        table[Op.SCWORK] = self._op_scwork
+        table[Op.SPEC_READ] = self._op_spec_read
+        table[Op.SPEC_SYSCALL] = self._op_spec_syscall
+        table[Op.SPEC_JR] = self._op_spec_jr
+        table[Op.SPEC_CALLR] = self._op_spec_callr
+        table[Op.SPEC_SWITCH] = self._op_spec_switch
+        return table
+
+    # -- trivial ----------------------------------------------------------------
+
+    def _op_invalid(self, thread: "Thread", insn: Insn) -> int:
+        raise MachineFault(f"invalid opcode {insn.op} at pc={thread.pc}")
+
+    def _op_nop(self, thread: "Thread", insn: Insn) -> int:
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_halt(self, thread: "Thread", insn: Insn) -> int:
+        return self.kernel.handle_exit(thread, 0)
+
+    def _op_li(self, thread: "Thread", insn: Insn) -> int:
+        thread.regs[insn.a] = insn.c & MASK64
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_mov(self, thread: "Thread", insn: Insn) -> int:
+        thread.regs[insn.a] = thread.regs[insn.b]
+        thread.pc += 1
+        return ALU_COST
+
+    # -- ALU ---------------------------------------------------------------------
+
+    def _op_add(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        r[insn.a] = (r[insn.b] + r[insn.c]) & MASK64
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_sub(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        r[insn.a] = (r[insn.b] - r[insn.c]) & MASK64
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_mul(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        r[insn.a] = (r[insn.b] * r[insn.c]) & MASK64
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_div(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        divisor = r[insn.c]
+        if divisor == 0:
+            if thread.is_spec:
+                raise SpeculationFault("speculative division by zero")
+            raise ArithmeticFault(f"division by zero at pc={thread.pc}")
+        r[insn.a] = (to_signed(r[insn.b]) // to_signed(divisor)) & MASK64
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_mod(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        divisor = r[insn.c]
+        if divisor == 0:
+            if thread.is_spec:
+                raise SpeculationFault("speculative modulus by zero")
+            raise ArithmeticFault(f"modulus by zero at pc={thread.pc}")
+        r[insn.a] = (to_signed(r[insn.b]) % to_signed(divisor)) & MASK64
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_and(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        r[insn.a] = r[insn.b] & r[insn.c]
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_or(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        r[insn.a] = r[insn.b] | r[insn.c]
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_xor(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        r[insn.a] = r[insn.b] ^ r[insn.c]
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_shl(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        r[insn.a] = (r[insn.b] << (r[insn.c] & 63)) & MASK64
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_shr(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        r[insn.a] = r[insn.b] >> (r[insn.c] & 63)
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_slt(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        r[insn.a] = 1 if to_signed(r[insn.b]) < to_signed(r[insn.c]) else 0
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_addi(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        r[insn.a] = (r[insn.b] + insn.c) & MASK64
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_muli(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        r[insn.a] = (r[insn.b] * insn.c) & MASK64
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_andi(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        r[insn.a] = r[insn.b] & (insn.c & MASK64)
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_ori(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        r[insn.a] = r[insn.b] | (insn.c & MASK64)
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_shli(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        r[insn.a] = (r[insn.b] << (insn.c & 63)) & MASK64
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_shri(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        r[insn.a] = r[insn.b] >> (insn.c & 63)
+        thread.pc += 1
+        return ALU_COST
+
+    def _op_slti(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        r[insn.a] = 1 if to_signed(r[insn.b]) < insn.c else 0
+        thread.pc += 1
+        return ALU_COST
+
+    # -- memory ---------------------------------------------------------------------
+
+    def _op_load(self, thread: "Thread", insn: Insn) -> int:
+        proc = thread.process
+        addr = (thread.regs[insn.b] + insn.c) & MASK64
+        thread.regs[insn.a] = proc.mem.load_word(addr)
+        thread.pc += 1
+        return MEM_COST + self._page_event_cost[proc.vmstat.touch_addr(addr)]
+
+    def _op_store(self, thread: "Thread", insn: Insn) -> int:
+        proc = thread.process
+        addr = (thread.regs[insn.b] + insn.c) & MASK64
+        proc.mem.store_word(addr, thread.regs[insn.a])
+        thread.pc += 1
+        return MEM_COST + self._page_event_cost[proc.vmstat.touch_addr(addr)]
+
+    def _op_loadb(self, thread: "Thread", insn: Insn) -> int:
+        proc = thread.process
+        addr = (thread.regs[insn.b] + insn.c) & MASK64
+        thread.regs[insn.a] = proc.mem.load_byte(addr)
+        thread.pc += 1
+        return MEM_COST + self._page_event_cost[proc.vmstat.touch_addr(addr)]
+
+    def _op_storeb(self, thread: "Thread", insn: Insn) -> int:
+        proc = thread.process
+        addr = (thread.regs[insn.b] + insn.c) & MASK64
+        proc.mem.store_byte(addr, thread.regs[insn.a])
+        thread.pc += 1
+        return MEM_COST + self._page_event_cost[proc.vmstat.touch_addr(addr)]
+
+    # -- control --------------------------------------------------------------------
+
+    def _op_beq(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        thread.pc = insn.c if r[insn.a] == r[insn.b] else thread.pc + 1
+        return BRANCH_COST
+
+    def _op_bne(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        thread.pc = insn.c if r[insn.a] != r[insn.b] else thread.pc + 1
+        return BRANCH_COST
+
+    def _op_blt(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        taken = to_signed(r[insn.a]) < to_signed(r[insn.b])
+        thread.pc = insn.c if taken else thread.pc + 1
+        return BRANCH_COST
+
+    def _op_bge(self, thread: "Thread", insn: Insn) -> int:
+        r = thread.regs
+        taken = to_signed(r[insn.a]) >= to_signed(r[insn.b])
+        thread.pc = insn.c if taken else thread.pc + 1
+        return BRANCH_COST
+
+    def _op_jmp(self, thread: "Thread", insn: Insn) -> int:
+        thread.pc = insn.c
+        return BRANCH_COST
+
+    def _op_jr(self, thread: "Thread", insn: Insn) -> int:
+        target = thread.regs[insn.a]
+        self._check_text_target(thread, target)
+        thread.pc = target
+        return BRANCH_COST
+
+    def _op_call(self, thread: "Thread", insn: Insn) -> int:
+        thread.regs[31] = thread.pc + 1  # ra
+        thread.pc = insn.c
+        return CALL_COST
+
+    def _op_callr(self, thread: "Thread", insn: Insn) -> int:
+        target = thread.regs[insn.a]
+        self._check_text_target(thread, target)
+        thread.regs[31] = thread.pc + 1
+        thread.pc = target
+        return CALL_COST
+
+    def _op_switch(self, thread: "Thread", insn: Insn) -> int:
+        table = thread.process.binary.jump_table(insn.c)
+        index = thread.regs[insn.a]
+        if index >= len(table.targets):
+            if thread.is_spec:
+                raise SpeculationFault(
+                    f"speculative switch index {index} out of range"
+                )
+            raise MachineFault(
+                f"switch index {index} out of range at pc={thread.pc}"
+            )
+        thread.pc = table.targets[index]
+        return SWITCH_COST
+
+    def _check_text_target(self, thread: "Thread", target: int) -> None:
+        if not 0 <= target < len(thread.process.binary.text):
+            if thread.is_spec:
+                raise SpeculationFault(f"speculative jump to {target}")
+            raise MachineFault(f"jump to {target} outside text at pc={thread.pc}")
+
+    # -- system --------------------------------------------------------------------------
+
+    def _op_syscall(self, thread: "Thread", insn: Insn) -> int:
+        return self.kernel.syscall(thread, insn.c)
+
+    def _op_cwork(self, thread: "Thread", insn: Insn) -> int:
+        thread.cwork_remaining += insn.a
+        thread.pc += 1
+        return 0
+
+    def _op_scwork(self, thread: "Thread", insn: Insn) -> int:
+        thread.cwork_remaining += insn.a
+        thread.pc += 1
+        return 0
+
+    # -- shadow-code memory (software-enforced copy-on-write) -------------------------------
+
+    def _op_cow_load(self, thread: "Thread", insn: Insn) -> int:
+        spec = thread.process.spec
+        addr = (thread.regs[insn.b] + insn.c) & MASK64
+        thread.regs[insn.a] = spec.cow.load_word(addr)
+        thread.pc += 1
+        return MEM_COST + insn.d
+
+    def _op_cow_store(self, thread: "Thread", insn: Insn) -> int:
+        spec = thread.process.spec
+        addr = (thread.regs[insn.b] + insn.c) & MASK64
+        extra = spec.cow.store_word(addr, thread.regs[insn.a])
+        thread.pc += 1
+        return MEM_COST + insn.d + extra
+
+    def _op_cow_loadb(self, thread: "Thread", insn: Insn) -> int:
+        spec = thread.process.spec
+        addr = (thread.regs[insn.b] + insn.c) & MASK64
+        thread.regs[insn.a] = spec.cow.load_byte(addr)
+        thread.pc += 1
+        return MEM_COST + insn.d
+
+    def _op_cow_storeb(self, thread: "Thread", insn: Insn) -> int:
+        spec = thread.process.spec
+        addr = (thread.regs[insn.b] + insn.c) & MASK64
+        extra = spec.cow.store_byte(addr, thread.regs[insn.a])
+        thread.pc += 1
+        return MEM_COST + insn.d + extra
+
+    # -- shadow-code control & system --------------------------------------------------------
+
+    def _op_spec_read(self, thread: "Thread", insn: Insn) -> int:
+        return thread.process.spec.spec_read(thread)
+
+    def _op_spec_syscall(self, thread: "Thread", insn: Insn) -> int:
+        return thread.process.spec.spec_syscall(thread, insn.c)
+
+    def _op_spec_jr(self, thread: "Thread", insn: Insn) -> int:
+        spec = thread.process.spec
+        target = spec.resolve_control_target(thread.regs[insn.a])
+        if target is None:
+            return spec.park(thread, "left_shadow")
+        thread.pc = target
+        return BRANCH_COST + _HANDLER_COST
+
+    def _op_spec_callr(self, thread: "Thread", insn: Insn) -> int:
+        spec = thread.process.spec
+        target = spec.resolve_control_target(thread.regs[insn.a])
+        if target is None:
+            return spec.park(thread, "left_shadow")
+        thread.regs[31] = thread.pc + 1
+        thread.pc = target
+        return CALL_COST + _HANDLER_COST
+
+    def _op_spec_switch(self, thread: "Thread", insn: Insn) -> int:
+        spec = thread.process.spec
+        table = thread.process.binary.jump_table(insn.c)
+        index = thread.regs[insn.a]
+        if index >= len(table.targets):
+            raise SpeculationFault(f"speculative switch index {index}")
+        target = spec.resolve_control_target(table.targets[index])
+        if target is None:
+            return spec.park(thread, "unrecognized_jump_table")
+        thread.pc = target
+        return SWITCH_COST + _HANDLER_COST

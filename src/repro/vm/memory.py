@@ -1,0 +1,138 @@
+"""Process address space.
+
+Layout (one flat bytearray, ranges validated on access)::
+
+    0x0000_0000 .. 0x0000_FFFF   unmapped guard (null dereferences fault)
+    0x0001_0000 .. data_end      data segment (globals from the binary)
+    data_end    .. heap break    heap (grows via sbrk)
+    stack_limit .. 0x0080_0000   stack (grows down from STACK_TOP)
+    0x0090_0000 .. spec break    speculative heap (the allocator SpecHint
+                                 links in for the speculating thread so
+                                 speculation cannot leak process memory)
+
+The speculative heap is private to the speculating thread; writes there are
+invisible to the original thread simply because the original thread never
+addresses that range.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IllegalAddress
+
+DATA_BASE = 0x0001_0000
+STACK_TOP = 0x0080_0000
+DEFAULT_STACK_BYTES = 0x0004_0000  # 256 KB
+SPEC_HEAP_BASE = 0x0090_0000
+SPEC_HEAP_MAX = 0x00A0_0000
+SPACE_SIZE = SPEC_HEAP_MAX
+
+MASK64 = (1 << 64) - 1
+
+
+class AddressSpace:
+    """Memory of one simulated process."""
+
+    def __init__(self, data_image: bytes, stack_bytes: int = DEFAULT_STACK_BYTES) -> None:
+        self._mem = bytearray(SPACE_SIZE)
+        self._mem[DATA_BASE:DATA_BASE + len(data_image)] = data_image
+
+        self.data_start = DATA_BASE
+        #: Heap break; sbrk moves it up.  The heap begins at the page-aligned
+        #: end of the data segment.
+        self.brk = DATA_BASE + ((len(data_image) + 0xFFF) & ~0xFFF)
+        self.heap_max = STACK_TOP - stack_bytes - 0x1_0000
+        self.stack_limit = STACK_TOP - stack_bytes
+        self.stack_top = STACK_TOP
+
+        #: Speculative-heap break (used by the SpecHint runtime's allocator).
+        self.spec_brk = SPEC_HEAP_BASE
+
+    # -- validity ---------------------------------------------------------------
+
+    def check_range(self, addr: int, length: int) -> None:
+        """Raise :class:`IllegalAddress` unless [addr, addr+length) is mapped."""
+        if length < 0:
+            raise IllegalAddress(f"negative length {length} at {addr:#x}")
+        end = addr + length
+        if self.data_start <= addr and end <= self.brk:
+            return
+        if self.stack_limit <= addr and end <= self.stack_top:
+            return
+        if SPEC_HEAP_BASE <= addr and end <= self.spec_brk:
+            return
+        raise IllegalAddress(f"access to unmapped [{addr:#x}, {end:#x})")
+
+    def valid(self, addr: int, length: int) -> bool:
+        """Non-raising :meth:`check_range`."""
+        try:
+            self.check_range(addr, length)
+        except IllegalAddress:
+            return False
+        return True
+
+    # -- sbrk --------------------------------------------------------------------
+
+    def sbrk(self, increment: int) -> int:
+        """Grow (or query, with 0) the heap; returns the old break."""
+        old = self.brk
+        new = self.brk + increment
+        if increment < 0 or new > self.heap_max:
+            raise IllegalAddress(f"sbrk({increment}) beyond heap limit {self.heap_max:#x}")
+        self.brk = new
+        return old
+
+    def spec_sbrk(self, increment: int) -> int:
+        """The speculating thread's private allocator."""
+        old = self.spec_brk
+        new = self.spec_brk + increment
+        if increment < 0 or new > SPEC_HEAP_MAX:
+            raise IllegalAddress(f"spec sbrk({increment}) beyond {SPEC_HEAP_MAX:#x}")
+        self.spec_brk = new
+        return old
+
+    # -- typed access (validated) --------------------------------------------------
+
+    def load_word(self, addr: int) -> int:
+        self.check_range(addr, 8)
+        return int.from_bytes(self._mem[addr:addr + 8], "little")
+
+    def store_word(self, addr: int, value: int) -> None:
+        self.check_range(addr, 8)
+        self._mem[addr:addr + 8] = (value & MASK64).to_bytes(8, "little")
+
+    def load_byte(self, addr: int) -> int:
+        self.check_range(addr, 1)
+        return self._mem[addr]
+
+    def store_byte(self, addr: int, value: int) -> None:
+        self.check_range(addr, 1)
+        self._mem[addr] = value & 0xFF
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        self.check_range(addr, length)
+        return bytes(self._mem[addr:addr + length])
+
+    def write_bytes(self, addr: int, payload: bytes) -> None:
+        self.check_range(addr, len(payload))
+        self._mem[addr:addr + len(payload)] = payload
+
+    def read_cstring(self, addr: int, max_len: int = 4096) -> bytes:
+        """NUL-terminated byte string starting at ``addr``."""
+        self.check_range(addr, 1)
+        end = min(addr + max_len, SPACE_SIZE)
+        raw = self._mem[addr:end]
+        nul = raw.find(b"\x00")
+        if nul < 0:
+            raise IllegalAddress(f"unterminated string at {addr:#x}")
+        result = bytes(raw[:nul])
+        self.check_range(addr, len(result) + 1)
+        return result
+
+    # -- raw access (no validity check; used by the COW machinery which
+    #    performs its own checks and must read "stale" bytes freely) -------------
+
+    def raw_read(self, addr: int, length: int) -> bytes:
+        return bytes(self._mem[addr:addr + length])
+
+    def raw_write(self, addr: int, payload: bytes) -> None:
+        self._mem[addr:addr + len(payload)] = payload

@@ -1,0 +1,126 @@
+"""Standard-library routines linked into every benchmark binary.
+
+Mirrors the standard-library structure the paper's tool cares about:
+
+* ``printf``/``fputs`` analogues are registered as *output routines*, which
+  SpecHint strips from shadow code ("known not to influence future read
+  accesses and can require many cycles to execute");
+* ``memcpy``/``strncpy`` are registered as *optimized stdlib* routines —
+  the SpecHint objects contain hand-optimized shadow versions whose COW
+  checks are loop-minimized (Section 3.3).
+
+All routines follow the calling convention: arguments in a0-a2, result in
+v0, ra is the return address; t8/t9 are scratch (caller-saved).
+"""
+
+from __future__ import annotations
+
+from repro.vm.assembler import Assembler
+from repro.vm.isa import SYS_WRITE, Reg
+
+
+def emit_stdlib(asm: Assembler) -> None:
+    """Emit the standard library into ``asm``.  Call before finish()."""
+    _emit_print_str(asm)
+    _emit_print_num(asm)
+    _emit_memcpy(asm)
+    _emit_strncpy(asm)
+
+
+def _emit_print_str(asm: Assembler) -> None:
+    """print_str(a0=addr, a1=len): write a buffer to stdout."""
+    with asm.function("print_str", output_routine=True):
+        # Formatting work, then the write system call.
+        asm.cwork(600, 40, 10)
+        asm.mov(Reg.a2, Reg.a1)
+        asm.mov(Reg.a1, Reg.a0)
+        asm.li(Reg.a0, 1)  # stdout
+        asm.syscall(SYS_WRITE)
+        asm.ret()
+
+
+def _emit_print_num(asm: Assembler) -> None:
+    """print_num(a0=value): format a number and write it to stdout.
+
+    The formatted digits are built in a small static buffer; output is the
+    decimal representation (fixed 20 bytes, space-padded) plus a newline.
+    """
+    buf = asm.data_space("__printnum_buf", 24)
+    with asm.function("print_num", output_routine=True):
+        asm.cwork(900, 60, 30)
+        asm.la(Reg.t8, "__printnum_buf")
+        asm.li(Reg.t9, 20)
+        asm.label("print_num_digits")
+        # buf[t9-1] = '0' + value % 10; value //= 10
+        asm.li(Reg.at, 10)
+        asm.mod(Reg.t0, Reg.a0, Reg.at)
+        asm.addi(Reg.t0, Reg.t0, ord("0"))
+        asm.add(Reg.t1, Reg.t8, Reg.t9)
+        asm.storeb(Reg.t0, Reg.t1, -1)
+        asm.div(Reg.a0, Reg.a0, Reg.at)
+        asm.addi(Reg.t9, Reg.t9, -1)
+        asm.bne(Reg.t9, Reg.zero, "print_num_pad_check")
+        asm.jmp("print_num_write")
+        asm.label("print_num_pad_check")
+        asm.bne(Reg.a0, Reg.zero, "print_num_digits")
+        # pad the rest with spaces
+        asm.label("print_num_pad")
+        asm.beq(Reg.t9, Reg.zero, "print_num_write")
+        asm.li(Reg.t0, ord(" "))
+        asm.add(Reg.t1, Reg.t8, Reg.t9)
+        asm.storeb(Reg.t0, Reg.t1, -1)
+        asm.addi(Reg.t9, Reg.t9, -1)
+        asm.jmp("print_num_pad")
+        asm.label("print_num_write")
+        asm.li(Reg.t0, ord("\n"))
+        asm.storeb(Reg.t0, Reg.t8, 20)
+        asm.li(Reg.a0, 1)
+        asm.la(Reg.a1, "__printnum_buf")
+        asm.li(Reg.a2, 21)
+        asm.syscall(SYS_WRITE)
+        asm.ret()
+    # NB: the data symbol is created before the function; `buf` unused here
+    # beyond symbol registration.
+    del buf
+
+
+def _emit_memcpy(asm: Assembler) -> None:
+    """memcpy(a0=dst, a1=src, a2=len): word-wise copy (len multiple of 8
+    copies fast; a byte tail handles the rest).  Returns dst in v0."""
+    with asm.function("memcpy", optimized_stdlib=True):
+        asm.mov(Reg.v0, Reg.a0)
+        asm.label("memcpy_words")
+        asm.slti(Reg.at, Reg.a2, 8)
+        asm.bne(Reg.at, Reg.zero, "memcpy_tail")
+        asm.load(Reg.t8, Reg.a1, 0)
+        asm.store(Reg.t8, Reg.a0, 0)
+        asm.addi(Reg.a0, Reg.a0, 8)
+        asm.addi(Reg.a1, Reg.a1, 8)
+        asm.addi(Reg.a2, Reg.a2, -8)
+        asm.jmp("memcpy_words")
+        asm.label("memcpy_tail")
+        asm.beq(Reg.a2, Reg.zero, "memcpy_done")
+        asm.loadb(Reg.t8, Reg.a1, 0)
+        asm.storeb(Reg.t8, Reg.a0, 0)
+        asm.addi(Reg.a0, Reg.a0, 1)
+        asm.addi(Reg.a1, Reg.a1, 1)
+        asm.addi(Reg.a2, Reg.a2, -1)
+        asm.jmp("memcpy_tail")
+        asm.label("memcpy_done")
+        asm.ret()
+
+
+def _emit_strncpy(asm: Assembler) -> None:
+    """strncpy(a0=dst, a1=src, a2=n): byte copy stopping at NUL or n."""
+    with asm.function("strncpy", optimized_stdlib=True):
+        asm.mov(Reg.v0, Reg.a0)
+        asm.label("strncpy_loop")
+        asm.beq(Reg.a2, Reg.zero, "strncpy_done")
+        asm.loadb(Reg.t8, Reg.a1, 0)
+        asm.storeb(Reg.t8, Reg.a0, 0)
+        asm.addi(Reg.a0, Reg.a0, 1)
+        asm.addi(Reg.a1, Reg.a1, 1)
+        asm.addi(Reg.a2, Reg.a2, -1)
+        asm.bne(Reg.t8, Reg.zero, "strncpy_loop")
+        asm.label("strncpy_done")
+        asm.ret()

@@ -1,0 +1,164 @@
+"""Tests for the three benchmark applications.
+
+These run scaled-down workloads end to end in all variants and check the
+paper's qualitative properties: correctness across variants, hinting
+behaviour, and the application-specific signatures (Agrep's EOF reads,
+Gnuld's data-dependent restarts and erroneous hints, XDataSlice's
+near-total hint coverage).
+"""
+
+import pytest
+
+from repro.harness.config import ExperimentConfig, Variant
+from repro.harness.runner import run_experiment
+
+#: Workload scales chosen so benchmarks stay out-of-cache (tiny runs fit
+#: in the file cache and stop being disk-bound) while tests remain fast.
+SCALE = {"agrep": 0.3, "gnuld": 1.0, "xds": 0.3}
+
+
+def run(app, variant, **kwargs):
+    cfg = ExperimentConfig(
+        app=app, variant=variant, workload_scale=SCALE[app], **kwargs
+    )
+    return run_experiment(cfg)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return {
+        app: {v: run(app, v) for v in Variant}
+        for app in ("agrep", "gnuld", "xds")
+    }
+
+
+class TestCorrectnessAcrossVariants:
+    @pytest.mark.parametrize("app", ["agrep", "gnuld", "xds"])
+    def test_speculating_output_matches_original(self, matrix, app):
+        original = matrix[app][Variant.ORIGINAL]
+        speculating = matrix[app][Variant.SPECULATING]
+        assert speculating.output == original.output
+        assert len(original.output) > 0
+
+    @pytest.mark.parametrize("app", ["agrep", "xds"])
+    def test_manual_output_matches_original(self, matrix, app):
+        # (Manual Gnuld is restructured; its read order differs but its
+        # written artifact is checked separately below.)
+        assert matrix[app][Variant.MANUAL].output == \
+            matrix[app][Variant.ORIGINAL].output
+
+    @pytest.mark.parametrize("app", ["agrep", "gnuld", "xds"])
+    def test_read_totals_identical_original_vs_speculating(self, matrix, app):
+        original = matrix[app][Variant.ORIGINAL]
+        speculating = matrix[app][Variant.SPECULATING]
+        assert speculating.read_calls == original.read_calls
+        assert speculating.read_bytes == original.read_bytes
+
+
+class TestImprovements:
+    @pytest.mark.parametrize("app", ["agrep", "gnuld", "xds"])
+    def test_both_hinting_variants_beat_original(self, matrix, app):
+        original = matrix[app][Variant.ORIGINAL]
+        for variant in (Variant.SPECULATING, Variant.MANUAL):
+            assert matrix[app][variant].improvement_over(original) > 10
+
+    def test_gnuld_speculating_trails_manual(self, matrix):
+        """The paper's headline asymmetry: data dependencies hold the
+        speculating Gnuld well below the manually restructured one."""
+        original = matrix["gnuld"][Variant.ORIGINAL]
+        spec = matrix["gnuld"][Variant.SPECULATING].improvement_over(original)
+        manual = matrix["gnuld"][Variant.MANUAL].improvement_over(original)
+        assert spec < manual
+
+
+class TestAgrepSignatures:
+    def test_eof_read_per_file(self, matrix):
+        result = matrix["agrep"][Variant.ORIGINAL]
+        # read calls = data reads + one EOF read per file.
+        assert result.read_calls > result.c("app.open_calls")
+        assert result.c("app.open_calls") == 48  # 160 * 0.3
+
+    def test_no_erroneous_hints(self, matrix):
+        """Agrep's accesses are fully argument-determined."""
+        assert matrix["agrep"][Variant.SPECULATING].inaccurate_hints <= 2
+
+    def test_high_dilation_factor(self, matrix):
+        result = matrix["agrep"][Variant.SPECULATING]
+        assert result.dilation_factor > 3.0
+
+    def test_no_writes(self, matrix):
+        assert matrix["agrep"][Variant.ORIGINAL].write_blocks == 0
+
+
+class TestGnuldSignatures:
+    def test_speculation_restarts_repeatedly(self, matrix):
+        assert matrix["gnuld"][Variant.SPECULATING].spec_restarts > 10
+
+    def test_erroneous_hints_generated(self, matrix):
+        assert matrix["gnuld"][Variant.SPECULATING].inaccurate_hints > 50
+
+    def test_writes_produced(self, matrix):
+        result = matrix["gnuld"][Variant.ORIGINAL]
+        assert result.write_calls > 0
+        assert result.write_bytes > 0
+
+    def test_output_file_identical_all_variants(self):
+        """All three variants must link the same output contents."""
+        contents = {}
+        for variant in Variant:
+            cfg = ExperimentConfig(app="gnuld", variant=variant,
+                                   workload_scale=0.1)
+            # Rebuild the world and capture the output file contents.
+            from repro.apps.gnuld import GnuldWorkload, build_gnuld
+            from repro.fs.filesystem import FileSystem
+            from repro.harness.runner import build_system
+            from repro.spechint.tool import SpecHintTool
+
+            fs = FileSystem(allocation_jitter_blocks=24, seed=1999)
+            binary = build_gnuld(fs, GnuldWorkload().scaled(0.1),
+                                 manual_hints=variant is Variant.MANUAL)
+            if variant is Variant.SPECULATING:
+                binary = SpecHintTool().transform(binary)
+            system = build_system(cfg.resolved_system(), fs)
+            system.kernel.spawn(binary)
+            system.kernel.run()
+            contents[variant] = bytes(fs.lookup("out/kernel").data)
+        assert contents[Variant.ORIGINAL] == contents[Variant.SPECULATING]
+        assert contents[Variant.ORIGINAL] == contents[Variant.MANUAL]
+
+    def test_cache_reuse_present(self, matrix):
+        """Pass-1 reads share blocks; debug reads cluster."""
+        assert matrix["gnuld"][Variant.ORIGINAL].cache_block_reuses > 50
+
+    def test_low_dilation_factor(self, matrix):
+        result = matrix["gnuld"][Variant.SPECULATING]
+        assert 1.0 < result.dilation_factor < 3.0
+
+
+class TestXdsSignatures:
+    def test_nearly_all_reads_hinted(self, matrix):
+        assert matrix["xds"][Variant.SPECULATING].pct_calls_hinted > 80
+
+    def test_readahead_wasteful_for_original(self, matrix):
+        result = matrix["xds"][Variant.ORIGINAL]
+        assert result.prefetched_blocks > 0
+        waste = result.prefetched_unused / max(1, result.prefetched_blocks)
+        assert waste > 0.3
+
+    def test_hinting_nearly_eliminates_waste(self, matrix):
+        original = matrix["xds"][Variant.ORIGINAL]
+        manual = matrix["xds"][Variant.MANUAL]
+        assert manual.prefetched_unused < original.prefetched_unused / 2
+
+    def test_little_reuse(self, matrix):
+        result = matrix["xds"][Variant.ORIGINAL]
+        assert result.cache_block_reuses < result.cache_block_reads / 2
+
+
+class TestTransformReports:
+    @pytest.mark.parametrize("app", ["agrep", "gnuld", "xds"])
+    def test_transform_report_attached(self, matrix, app):
+        report = matrix[app][Variant.SPECULATING].transform_report
+        assert report is not None
+        assert report.size_increase_pct > 50
+        assert report.reads_substituted >= 1

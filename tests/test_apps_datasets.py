@@ -1,0 +1,120 @@
+"""Tests for the synthetic workload generators."""
+
+from repro.apps.datasets import (
+    OBJ_MAGIC,
+    generate_agrep_corpus,
+    generate_gnuld_objects,
+    generate_xds_dataset,
+    xds_slice_plan,
+)
+from repro.fs.filesystem import FileSystem
+from repro.params import BLOCK_SIZE
+
+
+class TestAgrepCorpus:
+    def test_file_count(self):
+        fs = FileSystem()
+        inodes = generate_agrep_corpus(fs, 20, seed=1)
+        assert len(inodes) == 20
+        assert fs.nfiles == 20
+
+    def test_size_bounds(self):
+        fs = FileSystem()
+        for inode in generate_agrep_corpus(fs, 50, seed=1, min_kb=4, max_kb=64):
+            assert 4 * 1024 <= inode.size <= 64 * 1024
+
+    def test_heavy_tail(self):
+        fs = FileSystem()
+        sizes = [i.size for i in generate_agrep_corpus(fs, 200, seed=1)]
+        small = sum(1 for s in sizes if s < 16 * 1024)
+        assert small > len(sizes) // 2
+
+    def test_deterministic(self):
+        sizes1 = [i.size for i in generate_agrep_corpus(FileSystem(), 30, seed=9)]
+        sizes2 = [i.size for i in generate_agrep_corpus(FileSystem(), 30, seed=9)]
+        assert sizes1 == sizes2
+
+
+class TestGnuldObjects:
+    def _specs(self, nfiles=10, seed=3):
+        fs = FileSystem()
+        return fs, generate_gnuld_objects(fs, nfiles, seed)
+
+    def test_header_fields_parse_back(self):
+        fs, specs = self._specs()
+        for spec in specs:
+            data = fs.lookup(spec.path).data
+            assert int.from_bytes(data[0:8], "little") == OBJ_MAGIC
+            symhdr_off = int.from_bytes(data[8:16], "little")
+            assert int.from_bytes(data[16:24], "little") == spec.size
+            nsect = int.from_bytes(data[symhdr_off + 32:symhdr_off + 40], "little")
+            assert nsect == spec.nsections
+
+    def test_symtab_records_match_spec(self):
+        fs, specs = self._specs()
+        for spec in specs:
+            data = fs.lookup(spec.path).data
+            symhdr_off = int.from_bytes(data[8:16], "little")
+            symtab_off = int.from_bytes(data[symhdr_off:symhdr_off + 8], "little")
+            for s in range(spec.nsections):
+                at = symtab_off + s * 16
+                assert int.from_bytes(data[at:at + 8], "little") == \
+                    spec.section_offsets[s]
+                assert int.from_bytes(data[at + 8:at + 16], "little") == \
+                    spec.section_lengths[s]
+
+    def test_reloc_pointers_in_sections(self):
+        fs, specs = self._specs()
+        for spec in specs:
+            data = fs.lookup(spec.path).data
+            for s in range(spec.nsections):
+                at = spec.section_offsets[s]
+                assert int.from_bytes(data[at:at + 8], "little") == \
+                    spec.reloc_offsets[s]
+                assert int.from_bytes(data[at + 8:at + 16], "little") == \
+                    spec.reloc_lengths[s]
+
+    def test_all_regions_within_file(self):
+        fs, specs = self._specs(nfiles=20)
+        for spec in specs:
+            size = fs.lookup(spec.path).size
+            for off, length in zip(spec.section_offsets, spec.section_lengths):
+                assert off + length <= size
+            for off, length in zip(spec.reloc_offsets, spec.reloc_lengths):
+                assert off + length <= size
+            for off, length in zip(spec.debug_offsets, spec.debug_lengths):
+                assert off + length <= size
+
+    def test_symbol_header_not_in_block_zero(self):
+        """The data dependence only bites if the symbol header needs a
+        separate disk block from the file header."""
+        fs, specs = self._specs(nfiles=20)
+        for spec in specs:
+            data = fs.lookup(spec.path).data
+            symhdr_off = int.from_bytes(data[8:16], "little")
+            assert symhdr_off >= BLOCK_SIZE
+
+    def test_debug_count_range(self):
+        _, specs = self._specs(nfiles=20)
+        for spec in specs:
+            assert 6 <= spec.ndebug <= 9
+            assert 4 <= spec.nsections <= 9
+
+
+class TestXdsDataset:
+    def test_size_is_cube(self):
+        fs = FileSystem()
+        inode = generate_xds_dataset(fs, 32, seed=1)
+        assert inode.size == 32 ** 3 * 4
+
+    def test_slice_plan_shape(self):
+        plan = xds_slice_plan(64, 10, seed=2)
+        assert len(plan) == 20
+        axes = plan[0::2]
+        positions = plan[1::2]
+        assert all(a in (1, 2) for a in axes)
+        assert all(0 <= p < 64 for p in positions)
+
+    def test_plan_deterministic(self):
+        assert xds_slice_plan(64, 10, seed=2) == xds_slice_plan(64, 10, seed=2)
+        assert xds_slice_plan(64, 10, seed=2) != xds_slice_plan(64, 10, seed=3)

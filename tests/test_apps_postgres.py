@@ -1,0 +1,106 @@
+"""Tests for the Postgres join extension benchmark."""
+
+import pytest
+
+from repro.apps.postgres import (
+    KEYS_PER_LEAF,
+    PAGE,
+    PostgresWorkload,
+    generate_postgres_relations,
+)
+from repro.fs.filesystem import FileSystem
+from repro.harness.config import ExperimentConfig, Variant
+from repro.harness.runner import run_experiment
+
+
+class TestRelationGenerator:
+    def test_outer_keys_are_a_permutation(self):
+        fs = FileSystem()
+        workload = PostgresWorkload(outer_pages=8, inner_pages=16)
+        generate_postgres_relations(fs, workload)
+        data = fs.lookup("db/outer.heap").data
+        keys = set()
+        for slot in range(workload.ntuples):
+            at = slot * (PAGE // 16)
+            keys.add(int.from_bytes(data[at:at + 8], "little"))
+        assert keys == set(range(workload.ntuples))
+
+    def test_selectivity_approximate(self):
+        fs = FileSystem()
+        workload = PostgresWorkload(outer_pages=24, selectivity_pct=20)
+        generate_postgres_relations(fs, workload)
+        data = fs.lookup("db/outer.heap").data
+        matches = 0
+        for slot in range(workload.ntuples):
+            at = slot * (PAGE // 16)
+            matches += int.from_bytes(data[at + 8:at + 16], "little")
+        rate = matches / workload.ntuples
+        assert 0.12 < rate < 0.28
+
+    def test_index_chains_to_inner_heap(self):
+        fs = FileSystem()
+        workload = PostgresWorkload(outer_pages=8, inner_pages=16)
+        generate_postgres_relations(fs, workload)
+        index = fs.lookup("db/inner.idx").data
+        inner_size = fs.lookup("db/inner.heap").size
+        for key in range(0, workload.ntuples, 17):
+            leaf_off = int.from_bytes(
+                index[(key // KEYS_PER_LEAF) * 8:][:8], "little"
+            )
+            assert leaf_off % PAGE == 0
+            at = leaf_off + (key % KEYS_PER_LEAF) * 8
+            inner_off = int.from_bytes(index[at:at + 8], "little")
+            assert 0 <= inner_off < inner_size
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for app in ("postgres20", "postgres80"):
+        out[app] = {
+            v: run_experiment(ExperimentConfig(app=app, variant=v,
+                                               workload_scale=0.5))
+            for v in Variant
+        }
+    return out
+
+
+class TestJoinBehaviour:
+    @pytest.mark.parametrize("app", ["postgres20", "postgres80"])
+    def test_all_variants_agree_on_result(self, results, app):
+        outputs = {v: results[app][v].output for v in Variant}
+        assert outputs[Variant.ORIGINAL] == outputs[Variant.SPECULATING]
+        assert outputs[Variant.ORIGINAL] == outputs[Variant.MANUAL]
+
+    def test_higher_selectivity_means_more_reads(self, results):
+        assert results["postgres80"][Variant.ORIGINAL].read_calls > \
+            results["postgres20"][Variant.ORIGINAL].read_calls * 1.5
+
+    @pytest.mark.parametrize("app", ["postgres20", "postgres80"])
+    def test_hinting_wins(self, results, app):
+        original = results[app][Variant.ORIGINAL]
+        for variant in (Variant.SPECULATING, Variant.MANUAL):
+            assert results[app][variant].improvement_over(original) > 10
+
+    def test_more_matches_more_benefit(self, results):
+        """Table 1's shape: the 80% join gains more from hints than the
+        20% one (more probes => more prefetchable I/O)."""
+        def manual_improvement(app):
+            matrix = results[app]
+            return matrix[Variant.MANUAL].improvement_over(
+                matrix[Variant.ORIGINAL]
+            )
+
+        assert manual_improvement("postgres80") > manual_improvement("postgres20")
+
+    @pytest.mark.parametrize("app", ["postgres20", "postgres80"])
+    def test_speculation_hints_most_probes(self, results, app):
+        spec = results[app][Variant.SPECULATING]
+        assert spec.pct_calls_hinted > 70
+
+    def test_dependent_inner_reads_produce_erroneous_hints(self, results):
+        """The leaf -> inner-heap chain is data dependent: restarted
+        speculation mispredicts some inner offsets."""
+        spec = results["postgres20"][Variant.SPECULATING]
+        assert spec.spec_restarts > 3
+        assert spec.inaccurate_hints > 10

@@ -1,0 +1,125 @@
+"""Tests for inodes and the simulated file system."""
+
+import pytest
+
+from repro.errors import FileExistsInFS, FileNotFoundInFS, InvalidBlockError
+from repro.fs.filesystem import FileSystem, Inode
+from repro.params import BLOCK_SIZE
+
+
+class TestInode:
+    def test_size_and_blocks(self):
+        inode = Inode(0, "a", b"x" * (BLOCK_SIZE + 1), 0)
+        assert inode.size == BLOCK_SIZE + 1
+        assert inode.nblocks == 2
+
+    def test_empty_file_occupies_one_block(self):
+        assert Inode(0, "a", b"", 0).nblocks == 1
+
+    def test_lbn_of_block(self):
+        inode = Inode(0, "a", b"x" * (3 * BLOCK_SIZE), first_lbn=10)
+        assert inode.lbn_of_block(0) == 10
+        assert inode.lbn_of_block(2) == 12
+
+    def test_lbn_out_of_range(self):
+        inode = Inode(0, "a", b"x" * BLOCK_SIZE, 0)
+        with pytest.raises(InvalidBlockError):
+            inode.lbn_of_block(1)
+        with pytest.raises(InvalidBlockError):
+            inode.lbn_of_block(-1)
+
+    def test_read_at(self):
+        inode = Inode(0, "a", b"hello world", 0)
+        assert inode.read_at(6, 5) == b"world"
+
+    def test_read_truncated_at_eof(self):
+        inode = Inode(0, "a", b"hello", 0)
+        assert inode.read_at(3, 100) == b"lo"
+
+    def test_read_past_eof_empty(self):
+        inode = Inode(0, "a", b"hello", 0)
+        assert inode.read_at(10, 5) == b""
+
+    def test_read_negative_offset_rejected(self):
+        inode = Inode(0, "a", b"hello", 0)
+        with pytest.raises(InvalidBlockError):
+            inode.read_at(-1, 5)
+
+    def test_write_at_overwrite(self):
+        inode = Inode(0, "a", b"hello", 0)
+        inode.write_at(0, b"HE")
+        assert bytes(inode.data) == b"HEllo"
+
+    def test_write_at_extends(self):
+        inode = Inode(0, "a", b"ab", 0)
+        inode.write_at(4, b"xy")
+        assert bytes(inode.data) == b"ab\x00\x00xy"
+        assert inode.size == 6
+
+
+class TestFileSystem:
+    def test_create_and_lookup(self):
+        fs = FileSystem()
+        created = fs.create("dir/file", b"data")
+        assert fs.lookup("dir/file") is created
+        assert fs.inode(created.ino) is created
+
+    def test_duplicate_create_rejected(self):
+        fs = FileSystem()
+        fs.create("a", b"")
+        with pytest.raises(FileExistsInFS):
+            fs.create("a", b"")
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(FileNotFoundInFS):
+            FileSystem().lookup("nope")
+
+    def test_lookup_or_none(self):
+        fs = FileSystem()
+        assert fs.lookup_or_none("nope") is None
+        fs.create("yes", b"")
+        assert fs.lookup_or_none("yes") is not None
+
+    def test_inode_bad_number(self):
+        with pytest.raises(FileNotFoundInFS):
+            FileSystem().inode(0)
+
+    def test_contiguous_allocation_without_jitter(self):
+        fs = FileSystem()
+        a = fs.create("a", b"x" * (2 * BLOCK_SIZE))
+        b = fs.create("b", b"x" * BLOCK_SIZE)
+        assert a.first_lbn == 0
+        assert b.first_lbn == 2
+
+    def test_total_blocks_covers_all_files(self):
+        fs = FileSystem()
+        fs.create("a", b"x" * (2 * BLOCK_SIZE))
+        fs.create("b", b"x")
+        assert fs.total_blocks == 3
+
+    def test_allocation_jitter_leaves_gaps(self):
+        fs = FileSystem(allocation_jitter_blocks=16, seed=1)
+        previous_end = None
+        gaps = []
+        for i in range(20):
+            inode = fs.create(f"f{i}", b"x" * BLOCK_SIZE)
+            if previous_end is not None:
+                gaps.append(inode.first_lbn - previous_end)
+            previous_end = inode.first_lbn + inode.nblocks
+        assert any(g > 0 for g in gaps)
+        assert all(g >= 0 for g in gaps)
+
+    def test_jitter_is_deterministic(self):
+        def layout(seed):
+            fs = FileSystem(allocation_jitter_blocks=16, seed=seed)
+            return [fs.create(f"f{i}", b"x").first_lbn for i in range(10)]
+
+        assert layout(5) == layout(5)
+        assert layout(5) != layout(6)
+
+    def test_paths_in_creation_order(self):
+        fs = FileSystem()
+        fs.create("b", b"")
+        fs.create("a", b"")
+        assert fs.paths() == ["b", "a"]
+        assert fs.nfiles == 2

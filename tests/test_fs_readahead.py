@@ -1,0 +1,94 @@
+"""Tests for the Digital UNIX sequential read-ahead policy."""
+
+from repro.fs.filesystem import Inode
+from repro.fs.readahead import SequentialReadAhead
+from repro.params import BLOCK_SIZE
+
+
+def big_inode(nblocks=200):
+    return Inode(0, "big", b"\x00" * (nblocks * BLOCK_SIZE), 0)
+
+
+class TestSequentialRuns:
+    def test_first_read_does_not_prefetch(self):
+        """An isolated read is not yet a sequential run."""
+        ra = SequentialReadAhead()
+        state = ra.new_state()
+        blocks = ra.on_read(state, big_inode(), 0, 0)
+        assert blocks == []
+
+    def test_window_grows_with_run(self):
+        ra = SequentialReadAhead()
+        state = ra.new_state()
+        inode = big_inode()
+        assert ra.on_read(state, inode, 0, 0) == []
+        assert ra.on_read(state, inode, 1, 1) == []  # run of 2: still quiet
+        # Run of 3: the window opens at the run length.
+        assert ra.on_read(state, inode, 2, 2) == [3, 4, 5]
+        assert ra.on_read(state, inode, 3, 3) == [6, 7]
+
+    def test_window_capped_at_max(self):
+        ra = SequentialReadAhead(max_blocks=4)
+        state = ra.new_state()
+        inode = big_inode()
+        last = []
+        for b in range(20):
+            last = ra.on_read(state, inode, b, b)
+        assert len(last) <= 4
+
+    def test_rereading_tail_block_continues_run_without_growing(self):
+        """Partial-block reads re-touch the previous block: the run is not
+        broken, but no new sequential progress is counted either."""
+        ra = SequentialReadAhead()
+        state = ra.new_state()
+        inode = big_inode()
+        ra.on_read(state, inode, 0, 0)
+        blocks = ra.on_read(state, inode, 0, 0)  # same block again
+        assert state.run_blocks == 1
+        assert blocks == []
+
+    def test_nonsequential_read_resets_run(self):
+        ra = SequentialReadAhead()
+        state = ra.new_state()
+        inode = big_inode()
+        for b in range(5):
+            ra.on_read(state, inode, b, b)
+        assert state.run_blocks == 5
+        ra.on_read(state, inode, 50, 50)
+        assert state.run_blocks == 1
+
+    def test_reset_run_prefetches_from_new_position(self):
+        ra = SequentialReadAhead()
+        state = ra.new_state()
+        inode = big_inode()
+        for b in range(5):
+            ra.on_read(state, inode, b, b)
+        assert ra.on_read(state, inode, 100, 100) == []  # run broken
+        assert ra.on_read(state, inode, 101, 101) == []  # run of 2
+        blocks = ra.on_read(state, inode, 102, 102)      # run re-established
+        assert blocks == [103, 104, 105]
+
+    def test_prefetch_clamped_to_file_end(self):
+        ra = SequentialReadAhead()
+        state = ra.new_state()
+        inode = big_inode(nblocks=3)
+        ra.on_read(state, inode, 0, 0)
+        ra.on_read(state, inode, 1, 1)
+        blocks = ra.on_read(state, inode, 2, 2)
+        assert blocks == []
+
+    def test_no_duplicate_prefetches_in_run(self):
+        ra = SequentialReadAhead()
+        state = ra.new_state()
+        inode = big_inode()
+        issued = []
+        for b in range(10):
+            issued.extend(ra.on_read(state, inode, b, b))
+        assert len(issued) == len(set(issued))
+
+    def test_multiblock_read_counts_whole_span(self):
+        ra = SequentialReadAhead()
+        state = ra.new_state()
+        inode = big_inode()
+        ra.on_read(state, inode, 0, 3)  # 4-block read
+        assert state.run_blocks == 4

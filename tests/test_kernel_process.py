@@ -1,0 +1,127 @@
+"""Tests for Process, FdState, and process-level accounting."""
+
+import pytest
+
+from repro.errors import BadFileDescriptor
+from repro.fs.filesystem import FileSystem
+from repro.kernel.process import FIRST_FD, STDOUT_FD, Process
+from repro.kernel.thread import PRIO_ORIGINAL, ThreadState
+from repro.spechint.tool import SpecHintTool
+from repro.vm.assembler import Assembler
+from repro.vm.isa import Reg, SYS_EXIT
+
+
+def tiny_binary(name="tiny", declared_size=None):
+    asm = Assembler(name)
+    asm.data_bytes("d", b"data!")
+    asm.entry("main")
+    with asm.function("main"):
+        asm.li(Reg.a0, 0)
+        asm.syscall(SYS_EXIT)
+    binary = asm.finish()
+    if declared_size:
+        binary.declared_size_bytes = declared_size
+    return binary
+
+
+@pytest.fixture
+def process():
+    return Process(1, tiny_binary())
+
+
+class TestProcessSetup:
+    def test_main_thread_at_entry(self, process):
+        main = process.original_thread
+        assert main.pc == process.binary.entry_point
+        assert main.priority == PRIO_ORIGINAL
+        assert main.runnable
+
+    def test_stack_pointer_initialized(self, process):
+        assert process.original_thread.regs[int(Reg.sp)] == \
+            process.mem.stack_top
+
+    def test_data_image_loaded(self, process):
+        assert process.mem.read_bytes(process.mem.data_start, 5) == b"data!"
+
+    def test_stdio_fds_reserved(self, process):
+        assert process.fds[STDOUT_FD].inode is None
+        assert 0 not in process.fds
+
+    def test_no_spec_thread_for_plain_binary(self, process):
+        assert process.spec_thread is None
+        assert process.spec is None
+
+
+class TestFdTable:
+    def test_open_fd_numbering(self, process):
+        fs = FileSystem()
+        inode = fs.create("f", b"x")
+        first = process.open_fd(inode, "f")
+        second = process.open_fd(inode, "f")
+        assert first.fd == FIRST_FD
+        assert second.fd == FIRST_FD + 1
+
+    def test_fd_lookup_and_close(self, process):
+        fs = FileSystem()
+        inode = fs.create("f", b"x")
+        state = process.open_fd(inode, "f")
+        assert process.fd(state.fd) is state
+        process.close_fd(state.fd)
+        with pytest.raises(BadFileDescriptor):
+            process.fd(state.fd)
+
+    def test_close_unknown_fd_raises(self, process):
+        with pytest.raises(BadFileDescriptor):
+            process.close_fd(77)
+
+    def test_fds_not_reused_after_close(self, process):
+        fs = FileSystem()
+        inode = fs.create("f", b"x")
+        first = process.open_fd(inode, "f")
+        process.close_fd(first.fd)
+        second = process.open_fd(inode, "f")
+        assert second.fd == first.fd + 1
+
+
+class TestExit:
+    def test_exit_terminates_all_threads(self):
+        binary = SpecHintTool().transform(tiny_binary())
+        process = Process(1, binary)
+        spec_thread = process.add_spec_thread()
+        process.exit(5)
+        assert process.exited
+        assert process.exit_code == 5
+        assert process.original_thread.state is ThreadState.EXITED
+        assert spec_thread.state is ThreadState.EXITED
+
+    def test_wake_after_exit_is_noop(self, process):
+        process.exit(0)
+        process.original_thread.wake()
+        assert process.original_thread.state is ThreadState.EXITED
+
+
+class TestImageAccounting:
+    def test_declared_size_drives_footprint(self):
+        small = Process(1, tiny_binary("s"))
+        big = Process(2, tiny_binary("b", declared_size=512 * 1024))
+        assert big.vmstat.footprint_bytes > small.vmstat.footprint_bytes
+        assert big.vmstat.footprint_bytes >= 512 * 1024
+
+    def test_image_pages_do_not_fault(self):
+        process = Process(1, tiny_binary(declared_size=256 * 1024))
+        # Loader-mapped pages are resident but not demand-faulted.
+        assert process.vmstat.faults <= 1  # only the data-segment touch
+
+    def test_transformed_binary_has_bigger_image(self):
+        plain = Process(1, tiny_binary())
+        transformed = Process(2, SpecHintTool().transform(tiny_binary()))
+        assert transformed.vmstat.footprint_bytes > \
+            plain.vmstat.footprint_bytes
+
+    def test_spec_thread_added_idle(self):
+        binary = SpecHintTool().transform(tiny_binary())
+        process = Process(1, binary)
+        spec_thread = process.add_spec_thread()
+        assert spec_thread.is_spec
+        assert spec_thread.state is ThreadState.SPEC_IDLE
+        assert process.spec_thread is spec_thread

@@ -1,0 +1,134 @@
+"""Edge cases of the kernel read path and of multi-block reads."""
+
+from repro.fs.filesystem import FileSystem
+from repro.params import BLOCK_SIZE
+from repro.vm.isa import SEEK_SET, SYS_LSEEK, SYS_OPEN, SYS_READ, Reg
+
+from tests.conftest import run_program
+
+
+def fs_with(path="f", nblocks=6):
+    fs = FileSystem()
+    fs.create(path, bytes(i % 256 for i in range(nblocks * BLOCK_SIZE)))
+    return fs
+
+
+def open_read(asm, offset, length, bufsize=None):
+    asm.data_asciiz("path", "f")
+    asm.data_space("buf", bufsize or max(64, length))
+    asm.la(Reg.a0, "path")
+    asm.syscall(SYS_OPEN)
+    asm.mov(Reg.s1, Reg.v0)
+    asm.mov(Reg.a0, Reg.s1)
+    asm.li(Reg.a1, offset)
+    asm.li(Reg.a2, SEEK_SET)
+    asm.syscall(SYS_LSEEK)
+    asm.mov(Reg.a0, Reg.s1)
+    asm.la(Reg.a1, "buf")
+    asm.li(Reg.a2, length)
+    asm.syscall(SYS_READ)
+    asm.mov(Reg.s0, Reg.v0)
+
+
+class TestMultiBlockReads:
+    def test_read_spanning_blocks(self):
+        def body(asm):
+            open_read(asm, BLOCK_SIZE - 16, 32)
+
+        system, process = run_program(body, fs=fs_with())
+        assert process.original_thread.reg(Reg.s0) == 32
+        # Two blocks were accessed by one call.
+        assert system.stats.get("app.read_blocks") == 2
+        assert system.stats.get("app.read_calls") == 1
+
+    def test_large_read_fetches_in_parallel(self):
+        """A read covering several blocks issues all fetches at once and
+        blocks just once."""
+        def body(asm):
+            open_read(asm, 0, 4 * BLOCK_SIZE)
+
+        system, process = run_program(body, fs=fs_with())
+        assert process.original_thread.reg(Reg.s0) == 4 * BLOCK_SIZE
+        assert system.stats.get("app.read_stalls") == 1
+        assert system.stats.get("cache.demand_misses") == 4
+
+    def test_buffer_contents_correct_across_boundary(self):
+        def body(asm):
+            open_read(asm, BLOCK_SIZE - 4, 8)
+            asm.la(Reg.t0, "buf")
+            asm.loadb(Reg.s2, Reg.t0, 0)
+            asm.loadb(Reg.s3, Reg.t0, 7)
+
+        fs = fs_with()
+        expected = fs.lookup("f").read_at(BLOCK_SIZE - 4, 8)
+        system, process = run_program(body, fs=fs)
+        thread = process.original_thread
+        assert thread.reg(Reg.s2) == expected[0]
+        assert thread.reg(Reg.s3) == expected[7]
+
+
+class TestReadClamping:
+    def test_read_clamped_at_eof(self):
+        def body(asm):
+            open_read(asm, 6 * BLOCK_SIZE - 100, BLOCK_SIZE)
+
+        system, process = run_program(body, fs=fs_with())
+        assert process.original_thread.reg(Reg.s0) == 100
+
+    def test_read_of_zero_bytes(self):
+        def body(asm):
+            open_read(asm, 0, 0)
+
+        system, process = run_program(body, fs=fs_with())
+        assert process.original_thread.reg(Reg.s0) == 0
+        assert system.stats.get("app.read_blocks") == 0
+
+    def test_read_from_stdout_fd_returns_zero(self):
+        def body(asm):
+            asm.data_space("buf", 64)
+            asm.li(Reg.a0, 1)  # stdout
+            asm.la(Reg.a1, "buf")
+            asm.li(Reg.a2, 10)
+            asm.syscall(SYS_READ)
+            asm.mov(Reg.s0, Reg.v0)
+
+        system, process = run_program(body)
+        assert process.original_thread.reg(Reg.s0) == 0
+
+    def test_lseek_clamps_negative_to_zero(self):
+        def body(asm):
+            asm.data_asciiz("path", "f")
+            asm.la(Reg.a0, "path")
+            asm.syscall(SYS_OPEN)
+            asm.mov(Reg.a0, Reg.v0)
+            asm.li(Reg.a1, -500)
+            asm.li(Reg.a2, SEEK_SET)
+            asm.syscall(SYS_LSEEK)
+            asm.mov(Reg.s0, Reg.v0)
+
+        system, process = run_program(body, fs=fs_with())
+        assert process.original_thread.reg(Reg.s0) == 0
+
+
+class TestConcurrentBlockSharing:
+    def test_two_reads_same_block_one_fetch(self):
+        """The second read joins the in-flight fetch (no duplicate I/O)."""
+        def body(asm):
+            asm.data_asciiz("path", "f")
+            asm.data_space("buf", 128)
+            asm.la(Reg.a0, "path")
+            asm.syscall(SYS_OPEN)
+            asm.mov(Reg.s1, Reg.v0)
+            for _ in range(2):
+                asm.mov(Reg.a0, Reg.s1)
+                asm.li(Reg.a1, 0)
+                asm.li(Reg.a2, SEEK_SET)
+                asm.syscall(SYS_LSEEK)
+                asm.mov(Reg.a0, Reg.s1)
+                asm.la(Reg.a1, "buf")
+                asm.li(Reg.a2, 64)
+                asm.syscall(SYS_READ)
+
+        system, process = run_program(body, fs=fs_with())
+        assert system.stats.get("array.demand_submitted") == 1
+        assert system.stats.get("cache.block_reuses") == 1

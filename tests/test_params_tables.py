@@ -1,0 +1,143 @@
+"""Tests for parameter helpers and the table formatters."""
+
+import pytest
+
+from repro.harness import paper
+from repro.harness.config import Variant
+from repro.harness.results import RunResult
+from repro.harness.tables import (
+    format_fig3,
+    format_fig4,
+    format_improvement_series,
+    format_table4,
+    format_table5,
+    format_table6,
+    format_table8,
+)
+from repro.params import (
+    BLOCK_SIZE,
+    BLOCKS_PER_STRIPE_UNIT,
+    DiskParams,
+    STRIPE_UNIT,
+    SystemConfig,
+    scaled_cache_blocks,
+)
+
+
+class TestParams:
+    def test_stripe_unit_geometry(self):
+        assert STRIPE_UNIT == 8 * BLOCK_SIZE
+        assert BLOCKS_PER_STRIPE_UNIT == 8
+
+    def test_scaled_cache_blocks(self):
+        # Paper 12 MB at 8x scaling = 1.5 MB = 192 blocks of 8 KB.
+        assert scaled_cache_blocks(12.0) == 192
+        assert scaled_cache_blocks(6.0) == 96
+
+    def test_scaled_cache_floor(self):
+        assert scaled_cache_blocks(0.001) == 8
+
+    def test_disk_scaled_speeds_everything(self):
+        base = DiskParams()
+        fast = DiskParams.scaled(4.0)
+        assert fast.positioning_s == pytest.approx(base.positioning_s / 4)
+        assert fast.overhead_s == pytest.approx(base.overhead_s / 4)
+        assert fast.transfer_bps == pytest.approx(base.transfer_bps * 4)
+        assert fast.track_buffer_bps == pytest.approx(base.track_buffer_bps * 4)
+        assert fast.track_readahead_blocks == base.track_readahead_blocks
+
+    def test_cpu_seconds_cycles_roundtrip(self):
+        cpu = SystemConfig().cpu
+        assert cpu.cycles(cpu.seconds(1_000_000)) == 1_000_000
+
+    def test_replace_keeps_original(self):
+        config = SystemConfig()
+        other = config.replace(ncpus=2)
+        assert other.ncpus == 2
+        assert config.ncpus == 1
+
+
+def fake_matrix():
+    matrix = {}
+    for app in ("agrep", "gnuld", "xds"):
+        matrix[app] = {}
+        for i, variant in enumerate(v.value for v in Variant):
+            counters = {
+                "app.read_calls": 100,
+                "app.read_blocks": 120,
+                "app.read_bytes": 1_000_000,
+                "tip.hinted_read_calls": 60,
+                "tip.hinted_read_bytes": 700_000,
+                "tip.hints_consumed": 80,
+                "cache.block_reads": 130,
+                "cache.prefetched_blocks": 50,
+                "cache.prefetched_fully": 30,
+                "cache.prefetched_partial": 15,
+                "cache.prefetched_unused": 5,
+                "cache.block_reuses": 10,
+            }
+            result = RunResult(
+                app=app, variant=variant, cycles=1000 - 100 * i,
+                cpu_hz=1000, counters=counters,
+            )
+            result.footprint_bytes = 64 * 1024
+            matrix[app][variant] = result
+    return matrix
+
+
+class TestFormatters:
+    def test_fig3_mentions_every_app_and_paper_values(self):
+        text = format_fig3(fake_matrix())
+        for label in ("Agrep", "Gnuld", "XDataSlice"):
+            assert label in text
+        assert "paper 69%" in text
+
+    def test_fig4_format(self):
+        text = format_fig4({"agrep": 1.5, "gnuld": 2.0, "xds": 0.5})
+        assert "1.50%" in text
+        assert "<= 4%" in text
+
+    def test_table4_format(self):
+        text = format_table4(fake_matrix())
+        assert "60.0%" in text  # pct calls hinted
+        assert "2336" in text   # paper's Gnuld inaccurate hints
+
+    def test_table5_format(self):
+        text = format_table5(fake_matrix())
+        assert "60.0%" in text  # fully / prefetched = 30/50
+        assert "paper:" in text
+
+    def test_table6_format(self):
+        text = format_table6(fake_matrix())
+        assert "64 KB" in text
+
+    def test_table8_format(self):
+        sweep = {1: fake_matrix(), 4: fake_matrix()}
+        text = format_table8(sweep)
+        assert "1d" in text and "4d" in text
+        assert "paper" in text
+
+    def test_improvement_series_format(self):
+        sweep = {1: fake_matrix(), 2: fake_matrix()}
+        text = format_improvement_series(sweep, "disks")
+        assert "Agrep - speculating" in text
+        assert "disks" in text
+
+
+class TestPaperConstants:
+    def test_fig3_consistent_with_table1(self):
+        """Table 1's manual improvements match Figure 3's manual column."""
+        for app, (spec, manual) in paper.FIG3_IMPROVEMENT.items():
+            assert abs(manual - paper.TABLE1_MANUAL_IMPROVEMENT[app]) <= 4
+
+    def test_table5_percentages_partition(self):
+        for app, variants in paper.TABLE5.items():
+            for variant, row in variants.items():
+                fully, partially, unused = row[2], row[3], row[4]
+                assert 99.0 <= fully + partially + unused <= 101.0
+
+    def test_elapsed_matches_improvements(self):
+        for app, (orig, spec, manual) in paper.FIG3_ELAPSED.items():
+            spec_imp, manual_imp = paper.FIG3_IMPROVEMENT[app]
+            assert abs(100 * (orig - spec) / orig - spec_imp) < 3
+            assert abs(100 * (orig - manual) / orig - manual_imp) < 3

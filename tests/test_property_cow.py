@@ -1,0 +1,108 @@
+"""Property-based tests of the copy-on-write invariants.
+
+The central safety property of the whole design: *no sequence of
+speculative loads and stores ever changes what the original thread sees*,
+and speculation always observes its own writes (sequential consistency of
+the speculative view).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.params import SpecHintParams
+from repro.spechint.cow import CowMap
+from repro.vm.memory import DATA_BASE, AddressSpace
+
+REGION_SIZES = st.sampled_from([128, 256, 512, 1024, 2048, 8192])
+
+#: Speculative operations: (is_store, offset, value).
+OPS = st.lists(
+    st.tuples(st.booleans(), st.integers(0, 4000), st.integers(0, (1 << 64) - 1)),
+    max_size=60,
+)
+
+
+def make(region_size):
+    mem = AddressSpace(bytes(range(256)) * 20)
+    cow = CowMap(mem, SpecHintParams(cow_region_size=region_size))
+    return mem, cow
+
+
+@given(region_size=REGION_SIZES, ops=OPS)
+@settings(max_examples=150, deadline=None)
+def test_main_memory_never_changes(region_size, ops):
+    mem, cow = make(region_size)
+    snapshot = mem.raw_read(DATA_BASE, 5000)
+    for is_store, offset, value in ops:
+        addr = DATA_BASE + offset
+        if is_store:
+            cow.store_word(addr, value)
+        else:
+            cow.load_word(addr)
+    assert mem.raw_read(DATA_BASE, 5000) == snapshot
+
+
+@given(region_size=REGION_SIZES, ops=OPS)
+@settings(max_examples=150, deadline=None)
+def test_speculative_view_matches_shadow_model(region_size, ops):
+    """The COW view equals a reference model: main memory overlaid with
+    every speculative store."""
+    mem, cow = make(region_size)
+    model = bytearray(mem.raw_read(0, DATA_BASE + 8192))
+    for is_store, offset, value in ops:
+        addr = DATA_BASE + offset
+        if is_store:
+            cow.store_word(addr, value)
+            model[addr:addr + 8] = value.to_bytes(8, "little")
+        else:
+            expected = int.from_bytes(model[addr:addr + 8], "little")
+            assert cow.load_word(addr) == expected
+    # Final full sweep.
+    for check in range(0, 4096, 97):
+        addr = DATA_BASE + check
+        expected = int.from_bytes(model[addr:addr + 8], "little")
+        assert cow.load_word(addr) == expected
+
+
+@given(region_size=REGION_SIZES, ops=OPS)
+@settings(max_examples=100, deadline=None)
+def test_clear_restores_pristine_view(region_size, ops):
+    mem, cow = make(region_size)
+    for is_store, offset, value in ops:
+        addr = DATA_BASE + offset
+        if is_store:
+            cow.store_word(addr, value)
+    cow.clear()
+    for check in range(0, 4096, 131):
+        addr = DATA_BASE + check
+        assert cow.load_word(addr) == mem.load_word(addr)
+
+
+@given(
+    region_size=REGION_SIZES,
+    offsets=st.lists(st.integers(0, 4000), min_size=1, max_size=30),
+)
+@settings(max_examples=100, deadline=None)
+def test_copied_bytes_bounded_by_distinct_regions(region_size, offsets):
+    mem, cow = make(region_size)
+    for offset in offsets:
+        cow.store_byte(DATA_BASE + offset, 0xEE)
+    distinct = {(DATA_BASE + o) // region_size for o in offsets}
+    assert cow.copied_regions == len(distinct)
+    assert cow.copied_bytes == len(distinct) * region_size
+
+
+@given(
+    byte_ops=st.lists(
+        st.tuples(st.integers(0, 2000), st.integers(0, 255)), max_size=50
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_byte_and_word_ops_consistent(byte_ops):
+    mem, cow = make(1024)
+    model = {}
+    for offset, value in byte_ops:
+        cow.store_byte(DATA_BASE + offset, value)
+        model[offset] = value
+    for offset, value in model.items():
+        assert cow.load_byte(DATA_BASE + offset) == value

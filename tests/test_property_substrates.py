@@ -1,0 +1,161 @@
+"""Property-based tests of substrate invariants: striping geometry, cache
+accounting, page accounting, the read-ahead policy, and VM arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs.cache import BlockCache, FetchOrigin
+from repro.fs.filesystem import Inode
+from repro.fs.readahead import SequentialReadAhead
+from repro.kernel.vmstat import PageAccounting
+from repro.params import (
+    ArrayParams,
+    BLOCK_SIZE,
+    CpuParams,
+    DiskParams,
+)
+from repro.sim.clock import SimClock
+from repro.sim.engine import EventEngine
+from repro.sim.stats import StatRegistry
+from repro.storage.striping import StripedArray
+from repro.vm.isa import MASK64, to_signed
+
+
+# ---------------------------------------------------------------------------
+# Striping
+# ---------------------------------------------------------------------------
+
+@given(
+    ndisks=st.integers(1, 12),
+    nblocks=st.integers(1, 2048),
+    unit_blocks=st.sampled_from([1, 2, 4, 8, 16]),
+)
+@settings(max_examples=100, deadline=None)
+def test_striping_mapping_bijective_and_balanced(ndisks, nblocks, unit_blocks):
+    clock = SimClock()
+    array = StripedArray(
+        nblocks,
+        ArrayParams(ndisks=ndisks, stripe_unit=unit_blocks * BLOCK_SIZE),
+        DiskParams(),
+        CpuParams(),
+        EventEngine(clock),
+        StatRegistry(),
+    )
+    seen = set()
+    per_disk = [0] * ndisks
+    for lbn in range(nblocks):
+        disk, physical = array.map_block(lbn)
+        assert 0 <= disk < ndisks
+        assert 0 <= physical < array.disks[disk].nblocks
+        key = (disk, physical)
+        assert key not in seen
+        seen.add(key)
+        per_disk[disk] += 1
+    # Load balance: no disk holds more than one stripe unit above another
+    # (when there are enough blocks to wrap around).
+    if nblocks >= ndisks * unit_blocks:
+        assert max(per_disk) - min(per_disk) <= unit_blocks
+
+
+# ---------------------------------------------------------------------------
+# Cache accounting
+# ---------------------------------------------------------------------------
+
+@given(
+    events=st.lists(
+        st.tuples(
+            st.integers(0, 15),                      # block
+            st.sampled_from(["demand", "hint", "readahead"]),
+            st.booleans(),                           # accessed after arrival
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_cache_prefetch_accounting_partitions(events):
+    """fully + partially + unused partitions the prefetched blocks
+    (exactly as the paper's Table 5 columns do)."""
+    stats = StatRegistry()
+    cache = BlockCache(64, stats)
+    for block, origin_name, accessed in events:
+        key = (0, block)
+        if cache.get(key) is not None:
+            continue
+        origin = {
+            "demand": FetchOrigin.DEMAND,
+            "hint": FetchOrigin.HINT,
+            "readahead": FetchOrigin.READAHEAD,
+        }[origin_name]
+        cache.insert_fetching(key, origin)
+        cache.mark_valid(key)
+        if accessed:
+            cache.note_access(key)
+    cache.finalize()
+    prefetched = stats.get("cache.prefetched_blocks")
+    assert (
+        stats.get("cache.prefetched_fully")
+        + stats.get("cache.prefetched_partial")
+        + stats.get("cache.prefetched_unused")
+    ) == prefetched
+
+
+# ---------------------------------------------------------------------------
+# Page accounting
+# ---------------------------------------------------------------------------
+
+@given(pages=st.lists(st.integers(0, 50), max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_vmstat_invariants(pages):
+    vm = PageAccounting()
+    for page in pages:
+        vm.touch_page(page)
+    distinct = len(set(pages))
+    assert vm.faults == distinct
+    assert vm.resident_pages == distinct
+    # Reclaims can never exceed total touches minus first-touches.
+    assert vm.reclaims <= max(0, len(pages) - distinct)
+    # Mapped fraction bound (at least one page stays mapped).
+    if distinct:
+        assert 1 <= len(vm._mapped) <= max(1, (2 * distinct) // 3)
+
+
+# ---------------------------------------------------------------------------
+# Read-ahead policy
+# ---------------------------------------------------------------------------
+
+@given(reads=st.lists(st.integers(0, 99), min_size=1, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_readahead_never_duplicates_within_run_and_respects_cap(reads):
+    ra = SequentialReadAhead(max_blocks=64)
+    state = ra.new_state()
+    inode = Inode(0, "f", b"\x00" * (100 * BLOCK_SIZE), 0)
+    for block in reads:
+        issued = ra.on_read(state, inode, block, block)
+        assert len(issued) <= 64
+        assert all(0 <= b < inode.nblocks for b in issued)
+        assert all(b > block for b in issued)
+        assert len(set(issued)) == len(issued)
+
+
+# ---------------------------------------------------------------------------
+# VM arithmetic
+# ---------------------------------------------------------------------------
+
+@given(a=st.integers(0, MASK64), b=st.integers(0, MASK64))
+@settings(max_examples=200, deadline=None)
+def test_to_signed_roundtrip_and_order(a, b):
+    sa, sb = to_signed(a), to_signed(b)
+    assert sa & MASK64 == a
+    assert -(1 << 63) <= sa < (1 << 63)
+    # Signed comparison agrees with two's-complement interpretation.
+    assert (sa < sb) == (to_signed(a) < to_signed(b))
+
+
+@given(a=st.integers(0, MASK64), b=st.integers(1, MASK64))
+@settings(max_examples=200, deadline=None)
+def test_division_identity(a, b):
+    """floor-div/mod identity as the DIV/MOD opcodes implement it."""
+    q = (to_signed(a) // to_signed(b)) & MASK64
+    r = (to_signed(a) % to_signed(b)) & MASK64
+    lhs = (to_signed(q) * to_signed(b) + to_signed(r)) & MASK64
+    assert lhs == a

@@ -1,0 +1,136 @@
+"""Property-based end-to-end test of the SpecHint correctness goal.
+
+Section 3.1, design goal *Correct*: "the results of executing a
+transformed application should match those of executing the original
+application."  We generate random little disk-bound programs — arbitrary
+arithmetic, buffer loads/stores, computation phases, and a file-reading
+loop whose control flow depends on the data read — and check that the
+SpecHint-transformed executable produces bit-identical output and final
+memory on an identical machine.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs.filesystem import FileSystem
+from repro.params import BLOCK_SIZE
+from repro.spechint.tool import SpecHintTool
+from repro.vm.assembler import Assembler
+from repro.vm.isa import SYS_CLOSE, SYS_EXIT, SYS_OPEN, SYS_READ, Reg
+from repro.vm.stdlib import emit_stdlib
+
+from tests.conftest import make_system, small_system_config
+
+#: Registers random code may freely clobber.
+SCRATCH = [Reg.t0, Reg.t1, Reg.t2, Reg.t3, Reg.t4, Reg.t5]
+
+REG = st.sampled_from(SCRATCH)
+
+#: One random operation: (kind, reg_a, reg_b, immediate).
+OPERATION = st.tuples(
+    st.sampled_from(["add", "sub", "mul", "xor", "shl", "li",
+                     "load", "store", "cwork", "divsafe"]),
+    REG,
+    REG,
+    st.integers(0, 255),
+)
+
+PROGRAM = st.lists(OPERATION, min_size=1, max_size=25)
+
+
+def emit_random_ops(asm, ops, unique):
+    """Emit the generated operations (all safe by construction)."""
+    asm.data_space(f"scratch{unique}", 4096)
+    asm.la(Reg.s3, f"scratch{unique}")
+    for kind, ra, rb, imm in ops:
+        if kind == "add":
+            asm.add(ra, rb, ra)
+        elif kind == "sub":
+            asm.sub(ra, ra, rb)
+        elif kind == "mul":
+            asm.muli(ra, rb, imm)
+        elif kind == "xor":
+            asm.xor(ra, ra, rb)
+        elif kind == "shl":
+            asm.shli(ra, rb, imm % 8)
+        elif kind == "li":
+            asm.li(ra, imm * 1_000_003)
+        elif kind == "load":
+            asm.load(ra, Reg.s3, (imm % 500) * 8)
+        elif kind == "store":
+            asm.store(ra, Reg.s3, (imm % 500) * 8)
+        elif kind == "cwork":
+            asm.cwork(100 + imm * 10, imm, imm // 4)
+        elif kind == "divsafe":
+            asm.ori(Reg.at, rb, 1)  # divisor never zero
+            asm.div(ra, ra, Reg.at)
+
+
+def build_program(ops):
+    """A program that reads a 3-block file, mixing in the random ops; the
+    checksum it prints depends on both the data and the ops."""
+    asm = Assembler("random")
+    emit_stdlib(asm)
+    asm.data_asciiz("path", "input")
+    asm.data_space("buf", BLOCK_SIZE)
+    asm.entry("main")
+    with asm.function("main"):
+        asm.la(Reg.a0, "path")
+        asm.syscall(SYS_OPEN)
+        asm.mov(Reg.s1, Reg.v0)
+        asm.li(Reg.s5, 0)
+        asm.label("reads")
+        asm.mov(Reg.a0, Reg.s1)
+        asm.la(Reg.a1, "buf")
+        asm.li(Reg.a2, BLOCK_SIZE)
+        asm.syscall(SYS_READ)
+        asm.beq(Reg.v0, Reg.zero, "done")
+        asm.la(Reg.t9, "buf")
+        asm.loadb(Reg.t8, Reg.t9, 1)
+        asm.add(Reg.s5, Reg.s5, Reg.t8)
+        emit_random_ops(asm, ops, unique=asm.here)
+        # Fold the scratch registers into the checksum.
+        for reg in SCRATCH:
+            asm.add(Reg.s5, Reg.s5, reg)
+        asm.jmp("reads")
+        asm.label("done")
+        asm.mov(Reg.a0, Reg.s5)
+        asm.call("print_num")
+        asm.li(Reg.a0, 0)
+        asm.syscall(SYS_EXIT)
+    return asm.finish()
+
+
+def run_binary(binary):
+    fs = FileSystem(allocation_jitter_blocks=4, seed=3)
+    fs.create("input", bytes((7 * i) % 256 for i in range(3 * BLOCK_SIZE)))
+    system = make_system(fs, small_system_config(cache_blocks=16))
+    process = system.kernel.spawn(binary)
+    system.kernel.run()
+    return system, process
+
+
+@given(ops=PROGRAM)
+@settings(max_examples=40, deadline=None)
+def test_transformed_program_is_correct(ops):
+    original_system, original = run_binary(build_program(ops))
+    spec_system, speculating = run_binary(
+        SpecHintTool().transform(build_program(ops))
+    )
+    # Identical observable output and exit status.
+    assert bytes(speculating.output) == bytes(original.output)
+    assert speculating.exit_code == original.exit_code
+    # Identical final data-segment contents (speculation never leaked).
+    size = max(1, len(original.binary.data))
+    assert speculating.mem.read_bytes(original.mem.data_start, size) == \
+        original.mem.read_bytes(original.mem.data_start, size)
+
+
+@given(ops=PROGRAM)
+@settings(max_examples=15, deadline=None)
+def test_transformed_program_never_slower_by_much(ops):
+    """Design goal *Free*: at worst insignificantly slower (here: hints
+    enabled, so the transformed run should in fact win or tie)."""
+    original_system, _ = run_binary(build_program(ops))
+    spec_system, _ = run_binary(SpecHintTool().transform(build_program(ops)))
+    assert spec_system.clock.now <= original_system.clock.now * 1.08

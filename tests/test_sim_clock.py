@@ -1,0 +1,61 @@
+"""Tests for the simulation clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0
+
+    def test_starts_at_given_time(self):
+        assert SimClock(start=100).now == 100
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(start=-1)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        assert clock.advance(10) == 10
+        assert clock.now == 10
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(3)
+        clock.advance(4)
+        assert clock.now == 7
+
+    def test_advance_zero_is_noop(self):
+        clock = SimClock(start=5)
+        clock.advance(0)
+        assert clock.now == 5
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(SimulationError):
+            clock.advance(-1)
+
+    def test_advance_to_absolute(self):
+        clock = SimClock()
+        clock.advance_to(42)
+        assert clock.now == 42
+
+    def test_advance_to_present_is_noop(self):
+        clock = SimClock(start=10)
+        clock.advance_to(10)
+        assert clock.now == 10
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(start=10)
+        with pytest.raises(SimulationError):
+            clock.advance_to(9)
+
+    def test_seconds_conversion(self):
+        clock = SimClock(start=233_000_000)
+        assert clock.seconds(233_000_000) == pytest.approx(1.0)
+
+    def test_repr_contains_time(self):
+        assert "42" in repr(SimClock(start=42))

@@ -1,0 +1,129 @@
+"""Tests for the event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.engine import EventEngine
+
+
+@pytest.fixture
+def engine():
+    return EventEngine(SimClock())
+
+
+class TestScheduling:
+    def test_schedule_at_future(self, engine):
+        engine.schedule_at(10, lambda: None)
+        assert engine.pending == 1
+        assert engine.next_event_time() == 10
+
+    def test_schedule_in_past_rejected(self, engine):
+        engine.clock.advance(5)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(4, lambda: None)
+
+    def test_schedule_after_relative(self, engine):
+        engine.clock.advance(5)
+        engine.schedule_after(3, lambda: None)
+        assert engine.next_event_time() == 8
+
+    def test_schedule_after_negative_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1, lambda: None)
+
+    def test_horizon_tracks_earliest(self, engine):
+        engine.schedule_at(20, lambda: None)
+        engine.schedule_at(10, lambda: None)
+        assert engine.horizon == 10
+
+    def test_horizon_no_events_sentinel(self, engine):
+        assert engine.next_event_time() is None
+        assert engine.horizon == EventEngine.NO_EVENTS
+
+
+class TestDispatch:
+    def test_dispatch_due_runs_callbacks(self, engine):
+        fired = []
+        engine.schedule_at(5, lambda: fired.append("a"))
+        engine.schedule_at(7, lambda: fired.append("b"))
+        engine.clock.advance(6)
+        assert engine.dispatch_due() == 1
+        assert fired == ["a"]
+
+    def test_dispatch_fifo_order_on_ties(self, engine):
+        fired = []
+        engine.schedule_at(5, lambda: fired.append(1))
+        engine.schedule_at(5, lambda: fired.append(2))
+        engine.schedule_at(5, lambda: fired.append(3))
+        engine.clock.advance(5)
+        engine.dispatch_due()
+        assert fired == [1, 2, 3]
+
+    def test_dispatch_counts(self, engine):
+        engine.schedule_at(1, lambda: None)
+        engine.schedule_at(2, lambda: None)
+        engine.clock.advance(10)
+        assert engine.dispatch_due() == 2
+        assert engine.dispatched == 2
+
+    def test_callbacks_may_schedule_more(self, engine):
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.schedule_at(engine.clock.now, lambda: fired.append("second"))
+
+        engine.schedule_at(5, first)
+        engine.clock.advance(5)
+        engine.dispatch_due()
+        assert fired == ["first", "second"]
+
+    def test_advance_to_next_jumps_clock(self, engine):
+        fired = []
+        engine.schedule_at(100, lambda: fired.append("x"))
+        assert engine.advance_to_next()
+        assert engine.clock.now == 100
+        assert fired == ["x"]
+
+    def test_advance_to_next_empty_returns_false(self, engine):
+        assert not engine.advance_to_next()
+        assert engine.clock.now == 0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, engine):
+        fired = []
+        event = engine.schedule_at(5, lambda: fired.append("x"))
+        event.cancel()
+        engine.clock.advance(10)
+        engine.dispatch_due()
+        assert fired == []
+
+    def test_cancelled_not_counted_pending(self, engine):
+        event = engine.schedule_at(5, lambda: None)
+        engine.schedule_at(6, lambda: None)
+        event.cancel()
+        assert engine.pending == 1
+
+    def test_next_event_time_skips_cancelled(self, engine):
+        event = engine.schedule_at(5, lambda: None)
+        engine.schedule_at(9, lambda: None)
+        event.cancel()
+        assert engine.next_event_time() == 9
+
+    def test_advance_to_next_skips_cancelled(self, engine):
+        fired = []
+        event = engine.schedule_at(5, lambda: fired.append("a"))
+        engine.schedule_at(9, lambda: fired.append("b"))
+        event.cancel()
+        assert engine.advance_to_next()
+        assert engine.clock.now == 9
+        assert fired == ["b"]
+
+    def test_horizon_refreshes_after_dispatch(self, engine):
+        engine.schedule_at(5, lambda: None)
+        engine.schedule_at(50, lambda: None)
+        engine.clock.advance(10)
+        engine.dispatch_due()
+        assert engine.horizon == 50

@@ -1,0 +1,134 @@
+"""Tests for deterministic RNG and the statistics registry."""
+
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import Counter, Distribution, StatRegistry
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(1, "x")
+        b = DeterministicRng(1, "x")
+        assert [a.randint(0, 1000) for _ in range(20)] == [
+            b.randint(0, 1000) for _ in range(20)
+        ]
+
+    def test_different_streams_differ(self):
+        a = DeterministicRng(1, "x")
+        b = DeterministicRng(1, "y")
+        assert [a.randint(0, 10 ** 9) for _ in range(5)] != [
+            b.randint(0, 10 ** 9) for _ in range(5)
+        ]
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(7).fork("sub")
+        b = DeterministicRng(7).fork("sub")
+        assert a.bytes(16) == b.bytes(16)
+
+    def test_fork_differs_from_parent(self):
+        parent = DeterministicRng(7)
+        child = parent.fork("sub")
+        assert parent.bytes(16) != child.bytes(16)
+
+    def test_pareto_int_bounds(self):
+        rng = DeterministicRng(3)
+        for _ in range(200):
+            value = rng.pareto_int(1.3, 10, 100)
+            assert 10 <= value <= 100
+
+    def test_pareto_heavy_tail_shape(self):
+        rng = DeterministicRng(3)
+        values = [rng.pareto_int(1.3, 10, 10_000) for _ in range(2000)]
+        small = sum(1 for v in values if v < 50)
+        # Most draws should be near the minimum (heavy-tailed).
+        assert small > len(values) / 2
+
+    def test_shuffle_and_sample(self):
+        rng = DeterministicRng(5)
+        items = list(range(10))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(10))
+        picked = rng.sample(range(100), 5)
+        assert len(set(picked)) == 5
+
+
+class TestCounter:
+    def test_starts_zero(self):
+        assert Counter("c").value == 0
+
+    def test_add_default_one(self):
+        c = Counter("c")
+        c.add()
+        c.add()
+        assert c.value == 2
+
+    def test_add_amount(self):
+        c = Counter("c")
+        c.add(5)
+        assert c.value == 5
+
+
+class TestDistribution:
+    def test_empty_distribution(self):
+        d = Distribution("d")
+        assert d.count == 0
+        assert d.mean == 0.0
+        assert d.median == 0.0
+
+    def test_median_odd(self):
+        d = Distribution("d")
+        for v in (5, 1, 9):
+            d.observe(v)
+        assert d.median == 5
+
+    def test_percentiles(self):
+        d = Distribution("d")
+        for v in range(101):
+            d.observe(v)
+        assert d.percentile(0) == 0
+        assert d.percentile(100) == 100
+        assert d.percentile(50) == 50
+
+    def test_min_max_total(self):
+        d = Distribution("d")
+        for v in (4, 2, 6):
+            d.observe(v)
+        assert d.minimum == 2
+        assert d.maximum == 6
+        assert d.total == 12
+        assert d.mean == 4
+
+
+class TestStatRegistry:
+    def test_counter_created_on_first_use(self):
+        reg = StatRegistry()
+        reg.counter("a.b").add(3)
+        assert reg.get("a.b") == 3
+
+    def test_counter_identity_preserved(self):
+        reg = StatRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_get_missing_returns_default(self):
+        reg = StatRegistry()
+        assert reg.get("missing", default=7) == 7
+
+    def test_snapshot_is_plain_dict(self):
+        reg = StatRegistry()
+        reg.counter("a").add(1)
+        reg.counter("b").add(2)
+        snap = reg.snapshot()
+        assert snap == {"a": 1, "b": 2}
+        reg.counter("a").add(1)
+        assert snap["a"] == 1  # snapshot decoupled
+
+    def test_counters_sorted(self):
+        reg = StatRegistry()
+        reg.counter("z").add()
+        reg.counter("a").add()
+        assert [name for name, _ in reg.counters()] == ["a", "z"]
+
+    def test_distribution_or_none(self):
+        reg = StatRegistry()
+        assert reg.distribution_or_none("d") is None
+        reg.distribution("d").observe(1)
+        assert reg.distribution_or_none("d") is not None

@@ -1,0 +1,168 @@
+"""Tests for software-enforced copy-on-write."""
+
+import pytest
+
+from repro.kernel.vmstat import PageAccounting
+from repro.params import SpecHintParams
+from repro.spechint.cow import CowMap
+from repro.vm.machine import SpeculationFault
+from repro.vm.memory import DATA_BASE, AddressSpace
+
+
+def make_cow(region_size=1024, data=b"\xAA" * 4096, vmstat=None):
+    mem = AddressSpace(data)
+    params = SpecHintParams(cow_region_size=region_size)
+    return CowMap(mem, params, vmstat=vmstat), mem
+
+
+class TestIsolation:
+    """The core correctness property: speculation never mutates memory."""
+
+    def test_store_does_not_touch_main_memory(self):
+        cow, mem = make_cow()
+        cow.store_word(DATA_BASE, 0x1234)
+        assert mem.load_word(DATA_BASE) != 0x1234
+        assert mem.raw_read(DATA_BASE, 2) == b"\xAA\xAA"
+
+    def test_load_sees_speculative_value(self):
+        cow, mem = make_cow()
+        cow.store_word(DATA_BASE, 0x1234)
+        assert cow.load_word(DATA_BASE) == 0x1234
+
+    def test_load_of_uncopied_sees_main_memory(self):
+        cow, mem = make_cow()
+        mem.store_word(DATA_BASE + 64, 777)
+        assert cow.load_word(DATA_BASE + 64) == 777
+
+    def test_main_memory_update_visible_until_copied(self):
+        """Uncopied regions track live memory (how speculation sees data
+        arrive after the original thread's read completes)."""
+        cow, mem = make_cow()
+        assert cow.load_word(DATA_BASE) == int.from_bytes(b"\xAA" * 8, "little")
+        mem.store_word(DATA_BASE, 42)
+        assert cow.load_word(DATA_BASE) == 42
+
+    def test_copied_region_freezes_view(self):
+        cow, mem = make_cow()
+        cow.store_byte(DATA_BASE, 1)  # copies the whole region
+        mem.store_word(DATA_BASE + 8, 999)  # same region, later main write
+        assert cow.load_word(DATA_BASE + 8) != 999
+
+    def test_clear_discards_copies(self):
+        cow, mem = make_cow()
+        cow.store_word(DATA_BASE, 5)
+        cow.clear()
+        assert cow.copied_regions == 0
+        assert cow.load_word(DATA_BASE) == int.from_bytes(b"\xAA" * 8, "little")
+
+    def test_byte_ops(self):
+        cow, _ = make_cow()
+        cow.store_byte(DATA_BASE + 3, 0x7F)
+        assert cow.load_byte(DATA_BASE + 3) == 0x7F
+        assert cow.load_byte(DATA_BASE + 4) == 0xAA
+
+
+class TestRegionGranularity:
+    def test_store_copies_exactly_one_region(self):
+        cow, _ = make_cow(region_size=512)
+        cow.store_byte(DATA_BASE + 100, 1)
+        assert cow.copied_regions == 1
+        assert cow.copied_bytes == 512
+
+    def test_word_spanning_region_boundary(self):
+        cow, mem = make_cow(region_size=128)
+        # Find an address straddling a region boundary.
+        boundary = ((DATA_BASE // 128) + 1) * 128
+        cow.store_word(boundary - 4, 0x1122334455667788)
+        assert cow.copied_regions == 2
+        assert cow.load_word(boundary - 4) == 0x1122334455667788
+        assert mem.load_word(boundary - 4) != 0x1122334455667788
+
+    def test_is_copied(self):
+        cow, _ = make_cow()
+        assert not cow.is_copied(DATA_BASE)
+        cow.store_byte(DATA_BASE, 1)
+        assert cow.is_copied(DATA_BASE)
+
+    def test_first_store_costs_copy_cycles(self):
+        cow, _ = make_cow()
+        first = cow.store_word(DATA_BASE, 1)
+        second = cow.store_word(DATA_BASE + 8, 2)
+        assert first > 0
+        assert second == 0
+
+    @pytest.mark.parametrize("region_size", [128, 256, 1024, 8192])
+    def test_region_sizes_all_work(self, region_size):
+        cow, mem = make_cow(region_size=region_size)
+        cow.store_word(DATA_BASE + 40, 0xBEEF)
+        assert cow.load_word(DATA_BASE + 40) == 0xBEEF
+        assert mem.load_word(DATA_BASE + 40) != 0xBEEF
+
+
+class TestValidity:
+    def test_unmapped_load_faults(self):
+        cow, _ = make_cow()
+        with pytest.raises(SpeculationFault):
+            cow.load_word(64)
+
+    def test_unmapped_store_faults(self):
+        cow, _ = make_cow()
+        with pytest.raises(SpeculationFault):
+            cow.store_word(64, 1)
+
+    def test_spec_heap_accessible(self):
+        cow, mem = make_cow()
+        addr = mem.spec_sbrk(128)
+        cow.store_word(addr, 11)
+        assert cow.load_word(addr) == 11
+
+
+class TestBulk:
+    def test_write_read_bytes(self):
+        cow, mem = make_cow()
+        cow.write_bytes(DATA_BASE + 10, b"speculative")
+        assert cow.read_bytes(DATA_BASE + 10, 11) == b"speculative"
+        assert mem.read_bytes(DATA_BASE + 10, 11) == b"\xAA" * 11
+
+    def test_read_cstring(self):
+        cow, _ = make_cow()
+        cow.write_bytes(DATA_BASE, b"file.txt\x00")
+        assert cow.read_cstring(DATA_BASE) == b"file.txt"
+
+    def test_read_cstring_unterminated_faults(self):
+        cow, _ = make_cow()
+        with pytest.raises(SpeculationFault):
+            cow.read_cstring(DATA_BASE, max_len=16)  # all 0xAA
+
+    def test_precopy_range(self):
+        cow, _ = make_cow(region_size=256)
+        copied = cow.precopy_range(DATA_BASE, 1000)
+        assert cow.copied_regions == 4 or cow.copied_regions == 5
+        assert copied == cow.copied_regions * 256
+
+    def test_precopy_idempotent(self):
+        cow, _ = make_cow(region_size=256)
+        cow.precopy_range(DATA_BASE, 512)
+        again = cow.precopy_range(DATA_BASE, 512)
+        assert again == 0
+
+    def test_precopy_empty_range(self):
+        cow, _ = make_cow()
+        assert cow.precopy_range(DATA_BASE, 0) == 0
+
+
+class TestFootprintAccounting:
+    def test_copies_touch_vmstat_pages(self):
+        vmstat = PageAccounting()
+        cow, _ = make_cow(vmstat=vmstat)
+        before = vmstat.resident_pages
+        cow.store_word(DATA_BASE, 1)
+        assert vmstat.resident_pages > before
+
+    def test_lifetime_counters(self):
+        cow, _ = make_cow()
+        cow.store_word(DATA_BASE, 1)
+        cow.clear()
+        cow.store_word(DATA_BASE, 1)
+        assert cow.regions_copied_total == 2
+        assert cow.bytes_copied_total == 2 * 1024

@@ -1,0 +1,113 @@
+"""Tests for the hint log and the cancel-triggered speculation throttle."""
+
+from repro.spechint.hintlog import HintLog
+from repro.spechint.throttle import SpeculationThrottle
+
+
+class TestHintLog:
+    def test_empty_log_is_off_track(self):
+        log = HintLog()
+        assert not log.check_and_consume(1, 0, 100)
+        assert log.empty_total == 1
+
+    def test_matching_entry_consumed(self):
+        log = HintLog()
+        log.append(1, 0, 100, hinted=True)
+        assert log.check_and_consume(1, 0, 100)
+        assert log.matched_total == 1
+        assert log.unconsumed == 0
+
+    def test_match_requires_all_fields(self):
+        log = HintLog()
+        log.append(1, 0, 100, hinted=True)
+        assert not log.check_and_consume(2, 0, 100)  # wrong file
+        log.reset()
+        log.append(1, 0, 100, hinted=True)
+        assert not log.check_and_consume(1, 8, 100)  # wrong offset
+        log.reset()
+        log.append(1, 0, 100, hinted=True)
+        assert not log.check_and_consume(1, 0, 64)  # wrong length
+
+    def test_mismatch_does_not_consume(self):
+        log = HintLog()
+        log.append(1, 0, 100, hinted=True)
+        log.check_and_consume(2, 0, 100)
+        assert log.unconsumed == 1
+        assert log.mismatched_total == 1
+
+    def test_entries_consumed_in_order(self):
+        log = HintLog()
+        log.append(1, 0, 10, hinted=True)
+        log.append(1, 10, 10, hinted=True)
+        assert log.check_and_consume(1, 0, 10)
+        assert log.check_and_consume(1, 10, 10)
+        assert not log.check_and_consume(1, 20, 10)
+
+    def test_out_of_order_is_off_track(self):
+        """The original thread only checks the *next* entry."""
+        log = HintLog()
+        log.append(1, 0, 10, hinted=True)
+        log.append(1, 10, 10, hinted=True)
+        assert not log.check_and_consume(1, 10, 10)
+
+    def test_reset_clears_everything(self):
+        log = HintLog()
+        log.append(1, 0, 10, hinted=True)
+        log.check_and_consume(1, 0, 10)
+        log.reset()
+        assert len(log) == 0
+        assert log.unconsumed == 0
+        assert not log.check_and_consume(1, 0, 10)
+
+    def test_unhinted_predictions_match_too(self):
+        """Zero-byte EOF reads are predicted but not hinted; they must
+        still keep speculation on track (Agrep's extra reads)."""
+        log = HintLog()
+        log.append(1, 5000, 8192, hinted=False)
+        assert log.check_and_consume(1, 5000, 8192)
+
+    def test_appended_total_lifetime(self):
+        log = HintLog()
+        for i in range(3):
+            log.append(1, i, 1, hinted=True)
+        log.reset()
+        log.append(1, 0, 1, hinted=True)
+        assert log.appended_total == 4
+
+
+class TestThrottle:
+    def test_disabled_by_default_limit_zero(self):
+        throttle = SpeculationThrottle(0, 32)
+        assert not throttle.enabled
+        for _ in range(100):
+            throttle.note_cancel(10)
+            assert throttle.allow_restart()
+
+    def test_trips_after_limit(self):
+        throttle = SpeculationThrottle(3, 5)
+        for _ in range(3):
+            throttle.note_cancel(1)
+        assert throttle.currently_disabled
+        assert throttle.trips == 1
+
+    def test_empty_cancels_do_not_count(self):
+        throttle = SpeculationThrottle(2, 5)
+        for _ in range(10):
+            throttle.note_cancel(0)
+        assert not throttle.currently_disabled
+
+    def test_disable_window_counts_down(self):
+        throttle = SpeculationThrottle(1, 3)
+        throttle.note_cancel(1)
+        results = [throttle.allow_restart() for _ in range(4)]
+        assert results == [False, False, False, True]
+        assert throttle.suppressed_restarts == 3
+
+    def test_rearms_after_window(self):
+        throttle = SpeculationThrottle(1, 2)
+        throttle.note_cancel(1)
+        throttle.allow_restart()
+        throttle.allow_restart()
+        assert throttle.allow_restart()
+        throttle.note_cancel(1)
+        assert throttle.trips == 2

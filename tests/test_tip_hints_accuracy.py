@@ -1,0 +1,90 @@
+"""Tests for hint segments (Table 2 types) and accuracy tracking."""
+
+import pytest
+
+from repro.fs.filesystem import Inode
+from repro.params import BLOCK_SIZE
+from repro.tip.accuracy import HintAccuracyTracker
+from repro.tip.hints import HintSegment, Ioctl
+
+
+def inode(nbytes):
+    return Inode(3, "f", bytes(nbytes), 0)
+
+
+class TestHintSegment:
+    def test_block_range_single_block(self):
+        seg = HintSegment(inode(BLOCK_SIZE * 4), 100, 200, 1, Ioctl.TIPIO_SEG)
+        assert seg.block_range() == (0, 0)
+
+    def test_block_range_spanning(self):
+        seg = HintSegment(
+            inode(BLOCK_SIZE * 4), BLOCK_SIZE - 1, 2, 1, Ioctl.TIPIO_FD_SEG
+        )
+        assert seg.block_range() == (0, 1)
+
+    def test_block_range_clamped_to_file(self):
+        seg = HintSegment(inode(BLOCK_SIZE + 1), 0, 100 * BLOCK_SIZE, 1, Ioctl.TIPIO_SEG)
+        assert seg.block_range() == (0, 1)
+
+    def test_empty_segment(self):
+        seg = HintSegment(inode(BLOCK_SIZE), 0, 0, 1, Ioctl.TIPIO_SEG)
+        assert seg.block_range() == (0, -1)
+        assert seg.blocks() == []
+
+    def test_offset_past_eof(self):
+        seg = HintSegment(inode(10), 20, 5, 1, Ioctl.TIPIO_SEG)
+        assert seg.blocks() == []
+
+    def test_blocks_keys(self):
+        seg = HintSegment(inode(BLOCK_SIZE * 3), 0, 3 * BLOCK_SIZE, 1, Ioctl.TIPIO_SEG)
+        assert seg.blocks() == [(3, 0), (3, 1), (3, 2)]
+
+
+class TestHintAccuracyTracker:
+    def test_starts_optimistic(self):
+        assert HintAccuracyTracker().value == 1.0
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            HintAccuracyTracker(alpha=0.0)
+        with pytest.raises(ValueError):
+            HintAccuracyTracker(alpha=1.5)
+
+    def test_consumed_keeps_high(self):
+        tracker = HintAccuracyTracker()
+        tracker.observe_consumed(50)
+        assert tracker.value == pytest.approx(1.0)
+        assert tracker.consumed == 50
+
+    def test_cancelled_decays(self):
+        tracker = HintAccuracyTracker()
+        tracker.observe_cancelled(50)
+        assert tracker.value < 0.2
+        assert tracker.cancelled == 50
+
+    def test_stale_decays(self):
+        tracker = HintAccuracyTracker()
+        tracker.observe_stale(50)
+        assert tracker.value < 0.2
+
+    def test_mixed_converges_to_rate(self):
+        tracker = HintAccuracyTracker(alpha=0.05)
+        for _ in range(400):
+            tracker.observe_consumed()
+            tracker.observe_cancelled()
+        assert tracker.value == pytest.approx(0.5, abs=0.15)
+
+    def test_inaccurate_total(self):
+        tracker = HintAccuracyTracker()
+        tracker.observe_cancelled(3)
+        tracker.observe_stale(4)
+        assert tracker.inaccurate == 7
+
+    def test_recovery_after_bad_patch(self):
+        tracker = HintAccuracyTracker()
+        tracker.observe_cancelled(50)
+        low = tracker.value
+        tracker.observe_consumed(100)
+        assert tracker.value > low
+        assert tracker.value > 0.9

@@ -1,0 +1,108 @@
+"""Tests for the binary format validation and ISA helpers."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.vm.binary import Binary, Function, JumpTable
+from repro.vm.isa import (
+    MASK64,
+    SHADOW_ONLY_OPS,
+    SYSCALL_NAMES,
+    SPEC_ALLOWED_SYSCALLS,
+    SYS_FSTAT,
+    SYS_OPEN,
+    SYS_READ,
+    SYS_SBRK,
+    Insn,
+    Op,
+    Reg,
+    to_signed,
+)
+
+
+def make_binary(text, jump_tables=None, entry=0, functions=None):
+    return Binary(
+        "t", text, b"", {}, functions or [], jump_tables or [], entry
+    )
+
+
+class TestBinaryValidation:
+    def test_entry_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            make_binary([Insn(Op.NOP)], entry=5)
+
+    def test_branch_target_out_of_range(self):
+        with pytest.raises(AssemblyError):
+            make_binary([Insn(Op.JMP, c=9)])
+
+    def test_jump_table_target_out_of_range(self):
+        table = JumpTable(0, [7])
+        with pytest.raises(AssemblyError):
+            make_binary([Insn(Op.SWITCH, a=0, c=0)], jump_tables=[table])
+
+    def test_unknown_jump_table(self):
+        with pytest.raises(AssemblyError):
+            make_binary([Insn(Op.SWITCH, a=0, c=3)])
+
+    def test_valid_binary_accepted(self):
+        binary = make_binary([Insn(Op.JMP, c=0), Insn(Op.HALT)])
+        assert binary.text_bytes == 8
+
+    def test_function_lookup(self):
+        f = Function("f", 0, 2)
+        binary = make_binary([Insn(Op.NOP), Insn(Op.HALT)], functions=[f])
+        assert binary.function("f") is f
+        with pytest.raises(AssemblyError):
+            binary.function("g")
+        assert binary.function_containing(1) is f
+        assert binary.function_containing(5) is None
+        assert binary.function_at_entry(0) is f
+        assert binary.function_at_entry(1) is None
+
+
+class TestInsn:
+    def test_clone_copies_meta(self):
+        insn = Insn(Op.LOAD, 1, 2, 3, meta={"stack": True})
+        twin = insn.clone()
+        twin.meta["stack"] = False
+        assert insn.get_meta("stack") is True
+
+    def test_clone_without_meta(self):
+        insn = Insn(Op.NOP)
+        assert insn.clone().meta is None
+
+    def test_get_meta_default(self):
+        assert Insn(Op.NOP).get_meta("x", 42) == 42
+
+
+class TestIsaHelpers:
+    def test_to_signed_boundaries(self):
+        assert to_signed(0) == 0
+        assert to_signed(MASK64) == -1
+        assert to_signed(1 << 63) == -(1 << 63)
+        assert to_signed((1 << 63) - 1) == (1 << 63) - 1
+
+    def test_shadow_only_ops_disjoint_from_assembler_ops(self):
+        assembler_ops = {
+            Op.NOP, Op.HALT, Op.LI, Op.LA, Op.MOV, Op.ADD, Op.LOAD,
+            Op.STORE, Op.BEQ, Op.JMP, Op.CALL, Op.SYSCALL, Op.CWORK,
+        }
+        assert not (SHADOW_ONLY_OPS & assembler_ops)
+
+    def test_syscall_names_cover_spec_allowed(self):
+        for num in SPEC_ALLOWED_SYSCALLS:
+            assert num in SYSCALL_NAMES
+
+    def test_spec_allowed_is_paper_set(self):
+        """Section 3.2.1: hints, fstat and sbrk only (open/close/lseek are
+        emulated in user space; read becomes the hint call itself)."""
+        assert SYS_FSTAT in SPEC_ALLOWED_SYSCALLS
+        assert SYS_SBRK in SPEC_ALLOWED_SYSCALLS
+        assert SYS_OPEN not in SPEC_ALLOWED_SYSCALLS
+        assert SYS_READ not in SPEC_ALLOWED_SYSCALLS
+
+    def test_register_conventions(self):
+        assert int(Reg.zero) == 0
+        assert int(Reg.sp) == 29
+        assert int(Reg.ra) == 31
+        assert len(Reg) == 32

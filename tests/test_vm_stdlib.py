@@ -1,0 +1,129 @@
+"""Tests for the standard-library assembly routines."""
+
+from repro.vm.isa import Reg
+
+from tests.conftest import run_program
+
+
+class TestMemcpy:
+    def _run_memcpy(self, payload: bytes, n=None):
+        n = len(payload) if n is None else n
+
+        def body(asm):
+            asm.data_bytes("src", payload)
+            asm.data_space("dst", max(1, len(payload)))
+            asm.la(Reg.a0, "dst")
+            asm.la(Reg.a1, "src")
+            asm.li(Reg.a2, n)
+            asm.call("memcpy")
+
+        system, process = run_program(body, with_stdlib=True)
+        binary = process.binary
+        dst = binary.data_symbols["dst"]
+        return process.mem.read_bytes(dst, len(payload))
+
+    def test_word_multiple(self):
+        payload = bytes(range(16))
+        assert self._run_memcpy(payload) == payload
+
+    def test_with_byte_tail(self):
+        payload = b"hello world!!"  # 13 bytes: one word + 5-byte tail
+        assert self._run_memcpy(payload) == payload
+
+    def test_short_copy(self):
+        assert self._run_memcpy(b"abc") == b"abc"
+
+    def test_zero_length(self):
+        assert self._run_memcpy(b"xyz", n=0) == b"\x00\x00\x00"
+
+    def test_returns_dst(self):
+        def body(asm):
+            asm.data_bytes("src", b"ab")
+            asm.data_space("dst", 8)
+            asm.la(Reg.a0, "dst")
+            asm.la(Reg.a1, "src")
+            asm.li(Reg.a2, 2)
+            asm.call("memcpy")
+            asm.mov(Reg.s0, Reg.v0)
+
+        system, process = run_program(body, with_stdlib=True)
+        dst = process.binary.data_symbols["dst"]
+        assert process.original_thread.reg(Reg.s0) == dst
+
+
+class TestStrncpy:
+    def _run_strncpy(self, src: bytes, n: int, dst_size=32):
+        def body(asm):
+            asm.data_bytes("src", src)
+            asm.data_space("dst", dst_size)
+            asm.la(Reg.a0, "dst")
+            asm.la(Reg.a1, "src")
+            asm.li(Reg.a2, n)
+            asm.call("strncpy")
+
+        system, process = run_program(body, with_stdlib=True)
+        dst = process.binary.data_symbols["dst"]
+        return process.mem.read_bytes(dst, dst_size)
+
+    def test_stops_at_nul(self):
+        out = self._run_strncpy(b"hi\x00zzz", 6)
+        assert out[:3] == b"hi\x00"
+        assert out[3] == 0  # nothing beyond the NUL was copied
+
+    def test_stops_at_n(self):
+        out = self._run_strncpy(b"abcdefgh\x00", 4)
+        assert out[:4] == b"abcd"
+        assert out[4] == 0
+
+
+class TestPrintRoutines:
+    def test_print_str_writes_stdout(self):
+        def body(asm):
+            asm.data_bytes("msg", b"hello!")
+            asm.la(Reg.a0, "msg")
+            asm.li(Reg.a1, 6)
+            asm.call("print_str")
+
+        system, process = run_program(body, with_stdlib=True)
+        assert bytes(process.output) == b"hello!"
+
+    def test_print_num_formats_decimal(self):
+        def body(asm):
+            asm.li(Reg.a0, 12345)
+            asm.call("print_num")
+
+        system, process = run_program(body, with_stdlib=True)
+        out = bytes(process.output)
+        assert out.endswith(b"\n")
+        assert out.strip() == b"12345"
+
+    def test_print_num_zero(self):
+        def body(asm):
+            asm.li(Reg.a0, 0)
+            asm.call("print_num")
+
+        system, process = run_program(body, with_stdlib=True)
+        assert bytes(process.output).strip() == b"0"
+
+    def test_print_num_width_is_stable(self):
+        """Output is fixed-width so speculative stripping can't change
+        byte counts between runs."""
+        outs = []
+        for value in (7, 7_000_000):
+            def body(asm, v=value):
+                asm.li(Reg.a0, v)
+                asm.call("print_num")
+
+            _, process = run_program(body, with_stdlib=True)
+            outs.append(len(process.output))
+        assert outs[0] == outs[1] == 21
+
+    def test_output_routines_registered(self):
+        def body(asm):
+            asm.nop()
+
+        _, process = run_program(body, with_stdlib=True)
+        assert "print_str" in process.binary.output_routines
+        assert "print_num" in process.binary.output_routines
+        assert "memcpy" in process.binary.optimized_stdlib
+        assert "strncpy" in process.binary.optimized_stdlib
