@@ -29,7 +29,6 @@ from typing import List
 
 from repro.apps.datasets import (
     OBJ_HEADER_BYTES,
-    OBJ_RECORD_BYTES,
     OBJ_SYMHDR_BYTES,
     ObjectFileSpec,
     generate_gnuld_objects,

@@ -25,10 +25,11 @@ Commands
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import sys
 from typing import List, Optional
 
+from repro.errors import ReproError
+from repro.faults.plan import PROFILES
 from repro.harness import paper
 from repro.harness.config import ALL_APPS, ExperimentConfig, Variant
 from repro.harness.experiments import (
@@ -50,11 +51,14 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
         array=ArrayParams(ndisks=args.disks),
         ncpus=args.ncpus,
     )
+    chaos = getattr(args, "chaos", None)
     return ExperimentConfig(
         app=args.app,
         system=system,
         cache_paper_mb=args.cache_mb,
         workload_scale=args.scale,
+        fault_profile=chaos if chaos not in (None, "none") else None,
+        fault_seed=getattr(args, "fault_seed", 7),
     )
 
 
@@ -77,6 +81,16 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"{result.spec_signals} signals, "
               f"dilation {result.dilation_factor:.2f}")
         print(f"  inaccurate hints: {result.inaccurate_hints}")
+    if result.fault_profile is not None:
+        print(f"  chaos:            profile {result.fault_profile}, "
+              f"{result.disk_faults} disk faults, {result.io_retries} retries, "
+              f"{result.io_timeouts} timeouts, "
+              f"{result.prefetches_dropped} prefetches dropped")
+        if result.watchdog_tripped:
+            print(f"  watchdog:         tripped ({result.watchdog_tripped}); "
+                  f"speculation disabled, run completed vanilla")
+        for name, value in result.fault_events().items():
+            print(f"    {name:40s} {value}")
     return 0
 
 
@@ -85,6 +99,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         base = _base_config(argparse.Namespace(
             app=app, disks=args.disks, ncpus=args.ncpus,
             cache_mb=args.cache_mb, scale=args.scale,
+            chaos=getattr(args, "chaos", None),
+            fault_seed=getattr(args, "fault_seed", 7),
         ))
         results = {
             variant: run_experiment(base.with_(variant=variant))
@@ -186,6 +202,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=1.0,
                        help="workload scale factor")
         p.add_argument("--ncpus", type=int, default=1, choices=(1, 2))
+        p.add_argument("--chaos", default=None, choices=sorted(PROFILES),
+                       metavar="PROFILE",
+                       help="run under a fault-injection profile: "
+                            + ", ".join(sorted(PROFILES)))
+        p.add_argument("--fault-seed", type=int, default=7, dest="fault_seed",
+                       help="seed for the fault decision streams")
 
     run_p = sub.add_parser("run", help="run one benchmark variant")
     common(run_p)
@@ -219,7 +241,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # A library failure is a usage/runtime condition, not a crash:
+        # one line on stderr, exit status 1, no traceback at the user.
+        print(f"repro: error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -38,6 +38,33 @@ class InvalidBlockError(StorageError):
 
 
 # ---------------------------------------------------------------------------
+# Fault injection / degraded mode
+# ---------------------------------------------------------------------------
+
+class FaultError(ReproError):
+    """Base class for *injected* failures and their consequences.
+
+    Keeping these distinct from the rest of the hierarchy separates "the
+    chaos plan did what it was told" from simulation-invariant bugs: a
+    FaultError escaping a run means the degradation machinery (retries,
+    silent prefetch dropping, the speculation watchdog) gave up, not that
+    the simulator is broken.
+    """
+
+
+class DiskFaultError(FaultError):
+    """A disk access completed with an injected (transient or offline) error."""
+
+
+class IOTimeoutError(FaultError):
+    """An I/O request exceeded its per-request timeout and was aborted."""
+
+
+class RetriesExhausted(FaultError):
+    """A demand read kept failing after every allowed retry attempt."""
+
+
+# ---------------------------------------------------------------------------
 # File system substrate
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,140 @@
+"""The fault injector: interprets a :class:`FaultPlan` against the clock.
+
+One injector is shared by the whole simulated machine.  Every decision is
+drawn from :class:`~repro.sim.rng.DeterministicRng` streams forked per
+fault site (one per disk, one for the hint channel, one for speculation),
+so a given (plan, seed) pair yields bit-identical fault sequences — the
+chaos benchmarks assert exactly this.
+
+The injector only *decides*; the degradation machinery lives where the
+faults land (retry/backoff and timeouts in the striped array, silent
+prefetch dropping in the cache manager, the watchdog in the SpecHint
+runtime).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.params import BLOCK_SIZE, CpuParams
+from repro.sim.clock import SimClock
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import StatRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fs.filesystem import Inode
+    from repro.storage.request import IORequest
+
+#: Fault kinds attached to IORequests.
+FAULT_TRANSIENT = "transient"
+FAULT_OFFLINE = "offline"
+FAULT_TIMEOUT = "timeout"
+
+
+class FaultInjector:
+    """Seeded oracle asked "does this operation fail, and how?"."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        cpu: CpuParams,
+        clock: SimClock,
+        stats: StatRegistry,
+    ) -> None:
+        self.plan = plan
+        self.cpu = cpu
+        self.clock = clock
+        self.stats = stats
+
+        root = DeterministicRng(plan.seed, f"faults/{plan.name}")
+        self._disk_rngs: Dict[int, DeterministicRng] = {}
+        self._root = root
+        self._hint_rng = root.fork("hints")
+        self._spec_rng = root.fork("spec")
+
+        # Windows resolved to cycle times once, up front.
+        self._slow_lo = cpu.cycles(plan.slow_start_s)
+        self._slow_hi = self._slow_lo + cpu.cycles(plan.slow_duration_s)
+        self._offline_lo = cpu.cycles(plan.offline_start_s)
+        self._offline_hi = self._offline_lo + cpu.cycles(plan.offline_duration_s)
+
+    def _disk_rng(self, disk_id: int) -> DeterministicRng:
+        rng = self._disk_rngs.get(disk_id)
+        if rng is None:
+            rng = self._root.fork(f"disk{disk_id}")
+            self._disk_rngs[disk_id] = rng
+        return rng
+
+    # -- disk faults ---------------------------------------------------------
+
+    def disk_offline(self, disk_id: int, now: int) -> bool:
+        """Is ``disk_id`` inside its offline window at cycle ``now``?"""
+        return (
+            self.plan.offline_disk == disk_id
+            and self._offline_lo <= now < self._offline_hi
+        )
+
+    def on_disk_service(
+        self, disk_id: int, request: "IORequest", service_cycles: int
+    ) -> Tuple[int, Optional[str]]:
+        """Judge one disk access as it starts service.
+
+        Returns the (possibly altered) service time and the fault kind the
+        access will complete with, or None for a clean completion.
+        """
+        plan = self.plan
+        now = self.clock.now
+
+        if self.disk_offline(disk_id, now):
+            # Fail fast: the controller rejects after a fraction of the
+            # normal service time (command overhead, no media access).
+            self.stats.counter("faults.disk_offline_rejects").add()
+            return max(1, int(service_cycles * 0.05)), FAULT_OFFLINE
+
+        if plan.slow_factor != 1.0 and self._slow_lo <= now < self._slow_hi:
+            service_cycles = max(1, int(service_cycles * plan.slow_factor))
+            self.stats.counter("faults.disk_slow_services").add()
+
+        if plan.disk_error_rate > 0.0:
+            if self._disk_rng(disk_id).uniform(0.0, 1.0) < plan.disk_error_rate:
+                self.stats.counter("faults.disk_transient_errors").add()
+                return service_cycles, FAULT_TRANSIENT
+
+        return service_cycles, None
+
+    # -- hint channel faults -------------------------------------------------
+
+    def filter_hint(
+        self, inode: "Inode", offset: int, length: int
+    ) -> Optional[Tuple[int, int]]:
+        """Pass a hint through the (lossy, noisy) channel.
+
+        Returns None when the hint is dropped, else the (offset, length)
+        actually delivered — possibly rewritten to garbage that TIP must
+        tolerate (out-of-file offsets, absurd lengths).
+        """
+        plan = self.plan
+        if plan.hint_drop_rate > 0.0:
+            if self._hint_rng.uniform(0.0, 1.0) < plan.hint_drop_rate:
+                self.stats.counter("faults.hints_dropped").add()
+                return None
+        if plan.hint_corrupt_rate > 0.0:
+            if self._hint_rng.uniform(0.0, 1.0) < plan.hint_corrupt_rate:
+                self.stats.counter("faults.hints_corrupted").add()
+                span = max(inode.size, BLOCK_SIZE)
+                offset = self._hint_rng.randint(0, 2 * span)
+                length = self._hint_rng.randint(1, span + BLOCK_SIZE)
+        return offset, length
+
+    # -- speculation faults --------------------------------------------------
+
+    def force_divergence(self) -> bool:
+        """Should this hint-log check be forced to judge off-track?"""
+        rate = self.plan.spec_divergence_rate
+        if rate <= 0.0:
+            return False
+        if self._spec_rng.uniform(0.0, 1.0) < rate:
+            self.stats.counter("faults.spec_divergence").add()
+            return True
+        return False

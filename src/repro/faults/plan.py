@@ -1,0 +1,133 @@
+"""Fault plans: declarative descriptions of what should go wrong.
+
+A :class:`FaultPlan` is a frozen value object naming the fault processes to
+run during a simulation — disk error rates, slow/offline windows, hint
+channel loss, forced speculation divergence — plus the seed that makes each
+of them reproducible.  The :class:`~repro.faults.injector.FaultInjector`
+interprets the plan against the simulation clock.
+
+Times are expressed in (simulated) seconds so plans are independent of the
+processor frequency; the injector converts them to cycles.
+
+The built-in :data:`PROFILES` are the chaos modes the harness and the
+``--chaos`` CLI flag expose.  Each targets one degradation path:
+
+* ``transient-errors`` — random media errors; demand reads must survive via
+  retry-with-backoff, failed prefetches must be dropped silently;
+* ``stuck-disk`` — one window during which every disk services requests
+  absurdly slowly; per-request timeouts fire, abort, and retry;
+* ``offline-disk`` — one disk rejects everything for a window mid-run;
+  backoff must ride out the outage;
+* ``hint-corruption`` — hints are dropped or rewritten to garbage before
+  reaching TIP; hinting degrades toward the unhinted baseline;
+* ``restart-storm`` — the original thread is forced to judge speculation
+  off track almost every read; the speculation watchdog must eventually
+  disable speculation entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that is allowed to go wrong in one run."""
+
+    name: str = "none"
+
+    #: Seed for every fault decision (independent of the system seed, so
+    #: the same workload can be replayed under different fault streams).
+    seed: int = 7
+
+    # -- disk faults ---------------------------------------------------------
+
+    #: Probability that a disk access completes with a transient error.
+    disk_error_rate: float = 0.0
+
+    #: Service-time multiplier applied to accesses *started* inside the
+    #: slow window (1.0 = no slowdown).
+    slow_factor: float = 1.0
+    slow_start_s: float = 0.0
+    slow_duration_s: float = 0.0
+
+    #: Disk that goes offline (-1 = none).  While offline the disk rejects
+    #: every access after the command overhead (fail-fast).
+    offline_disk: int = -1
+    offline_start_s: float = 0.0
+    offline_duration_s: float = 0.0
+
+    # -- hint channel faults -------------------------------------------------
+
+    #: Probability a TIPIO_* hint is silently lost before reaching TIP.
+    hint_drop_rate: float = 0.0
+
+    #: Probability a hint's (offset, length) is rewritten to garbage.
+    hint_corrupt_rate: float = 0.0
+
+    # -- speculation faults --------------------------------------------------
+
+    #: Probability the original thread's hint-log check is forced to judge
+    #: speculation off track even when the entry matched (wrong-path
+    #: exercise; drives restart storms).
+    spec_divergence_rate: float = 0.0
+
+    @property
+    def active(self) -> bool:
+        """True when the plan can actually inject something."""
+        return (
+            self.disk_error_rate > 0.0
+            or (self.slow_factor != 1.0 and self.slow_duration_s > 0.0)
+            or (self.offline_disk >= 0 and self.offline_duration_s > 0.0)
+            or self.hint_drop_rate > 0.0
+            or self.hint_corrupt_rate > 0.0
+            or self.spec_divergence_rate > 0.0
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same plan driven by a different fault seed."""
+        return replace(self, seed=seed)
+
+
+#: The built-in chaos profiles (see module docstring).
+PROFILES: Dict[str, FaultPlan] = {
+    "none": FaultPlan(name="none"),
+    "transient-errors": FaultPlan(
+        name="transient-errors",
+        disk_error_rate=0.05,
+    ),
+    "stuck-disk": FaultPlan(
+        name="stuck-disk",
+        slow_factor=50.0,
+        slow_start_s=0.0,
+        slow_duration_s=0.02,
+    ),
+    "offline-disk": FaultPlan(
+        name="offline-disk",
+        offline_disk=0,
+        offline_start_s=0.002,
+        offline_duration_s=0.010,
+    ),
+    "hint-corruption": FaultPlan(
+        name="hint-corruption",
+        hint_drop_rate=0.15,
+        hint_corrupt_rate=0.15,
+    ),
+    "restart-storm": FaultPlan(
+        name="restart-storm",
+        spec_divergence_rate=0.99,
+    ),
+}
+
+
+def profile(name: str, seed: Optional[int] = None) -> FaultPlan:
+    """Look up a built-in profile, optionally re-seeded."""
+    try:
+        plan = PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise ValueError(f"unknown fault profile {name!r}; expected one of: {known}")
+    if seed is not None:
+        plan = plan.with_seed(seed)
+    return plan

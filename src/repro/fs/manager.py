@@ -13,8 +13,9 @@ manager; the manager talks to the striped array.  Two managers exist:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
+from repro.errors import RetriesExhausted
 from repro.fs.cache import BlockCache, BlockKey, CacheEntry, EntryState, FetchOrigin
 from repro.fs.filesystem import FileSystem, Inode
 from repro.fs.readahead import ReadAheadState, SequentialReadAhead
@@ -61,8 +62,12 @@ class CacheManagerBase:
             # In flight: join the outstanding request at demand priority.
             entry.demand_waiters += 1
             self.cache.note_access(key)
-            self.array.submit(inode.lbn_of_block(file_block), IOKind.DEMAND,
-                              lambda _req: on_ready())
+
+            def joined(req: IORequest) -> None:
+                self._check_demand_failure(req)
+                on_ready()
+
+            self.array.submit(inode.lbn_of_block(file_block), IOKind.DEMAND, joined)
             self.stats.counter("cache.demand_joins_inflight").add()
             return False
 
@@ -73,13 +78,23 @@ class CacheManagerBase:
         self.cache.note_access(key)
         self.stats.counter("cache.demand_misses").add()
 
-        def completed(_req: IORequest) -> None:
+        def completed(req: IORequest) -> None:
+            self._check_demand_failure(req)
             self.cache.mark_valid(key)
             self.on_block_arrived(key)
             on_ready()
 
         self.array.submit(inode.lbn_of_block(file_block), IOKind.DEMAND, completed)
         return False
+
+    def _check_demand_failure(self, request: IORequest) -> None:
+        """Demand reads must not be refused: exhausted retries are a hard,
+        typed failure (never silent data corruption)."""
+        if request.failed:
+            raise RetriesExhausted(
+                f"demand read for lbn {request.lbn} failed after "
+                f"{request.attempts} attempts"
+            ) from StripedArray.failure_cause(request)
 
     def peek_valid(self, inode: Inode, file_block: int) -> bool:
         """Non-blocking residency check (used by speculative reads).
@@ -123,7 +138,15 @@ class CacheManagerBase:
             return False
         self.cache.insert_fetching(key, origin)
 
-        def completed(_req: IORequest) -> None:
+        def completed(req: IORequest) -> None:
+            if req.failed:
+                # Dropped prefetch: discard the entry silently.  A later
+                # demand access simply misses — the unhinted baseline, never
+                # an error surfaced to the application.
+                self.cache.discard_fetching(key)
+                self.stats.counter("cache.prefetches_dropped").add()
+                self.on_prefetch_dropped(key)
+                return
             self.cache.mark_valid(key)
             self.on_block_arrived(key)
             if on_done is not None:
@@ -178,6 +201,9 @@ class CacheManagerBase:
 
     def on_block_arrived(self, key: BlockKey) -> None:
         """Called whenever any fetch completes (policy may react)."""
+
+    def on_prefetch_dropped(self, key: BlockKey) -> None:
+        """Called when a prefetch failed terminally (policy may react)."""
 
     def after_read(self, pid: int) -> None:
         """Called at the end of every read call (policy may react)."""

@@ -7,6 +7,7 @@ import enum
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.faults.plan import FaultPlan, profile
 from repro.params import SystemConfig, scaled_cache_blocks
 
 #: The paper's three transformed benchmarks (every table/figure).
@@ -52,11 +53,32 @@ class ExperimentConfig:
     #: ``DiskParams.scaled``); None keeps ``system.disk`` untouched.
     disk_time_scale: Optional[float] = 4.0
 
+    #: Chaos mode: name of a built-in fault profile (see
+    #: ``repro.faults.plan.PROFILES``), or None for a fault-free run.
+    fault_profile: Optional[str] = None
+
+    #: Seed for the fault decision streams (independent of ``system.seed``
+    #: so one workload can be replayed under many fault sequences).
+    fault_seed: int = 7
+
     def __post_init__(self) -> None:
         if self.app not in ALL_APPS:
             raise ValueError(
                 f"unknown app {self.app!r}; expected one of {ALL_APPS}"
             )
+        if self.fault_profile is not None:
+            profile(self.fault_profile)  # validate the name early
+
+    def resolved_fault_plan(self) -> Optional[FaultPlan]:
+        """The fault plan for this run, or None when fault-free.
+
+        The ``none`` profile also resolves to None so ``--chaos none``
+        keeps the event stream bit-identical to a run without the flag.
+        """
+        if self.fault_profile is None:
+            return None
+        plan = profile(self.fault_profile, seed=self.fault_seed)
+        return plan if plan.active else None
 
     def resolved_system(self) -> SystemConfig:
         """System config with cache size and disk time scale resolved."""

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Optional
 
 from repro.harness.config import APPS, ExperimentConfig, Variant
 from repro.harness.results import RunResult

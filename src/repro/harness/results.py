@@ -35,6 +35,11 @@ class RunResult:
     page_reclaims: int = 0
     page_faults: int = 0
 
+    #: Chaos-mode provenance: the fault profile the run executed under
+    #: (None = fault-free) and the watchdog trip reason, if it tripped.
+    fault_profile: Optional[str] = None
+    watchdog_tripped: Optional[str] = None
+
     # -- elapsed time ---------------------------------------------------------
 
     @property
@@ -140,6 +145,46 @@ class RunResult:
     @property
     def cache_block_reuses(self) -> int:
         return self.c("cache.block_reuses")
+
+    # Fault injection / degraded mode ------------------------------------------
+
+    #: Counter prefixes that constitute the fault-event record of a run.
+    FAULT_PREFIXES = ("faults.", "array.retries", "array.timeouts",
+                      "array.faulted_attempts", "array.demand_failures",
+                      "array.prefetches_dropped", "cache.prefetches_dropped",
+                      "cache.fetch_failures", "tip.prefetches_dropped",
+                      "spec.watchdog")
+
+    def fault_events(self) -> Dict[str, int]:
+        """Every fault / retry / degradation counter the run recorded.
+
+        Two runs with the same workload, system seed, and fault seed must
+        produce identical dicts — the chaos benchmarks assert this.
+        """
+        return {
+            name: value
+            for name, value in sorted(self.counters.items())
+            if name.startswith(self.FAULT_PREFIXES) and value
+        }
+
+    @property
+    def disk_faults(self) -> int:
+        return (
+            self.c("faults.disk_transient_errors")
+            + self.c("faults.disk_offline_rejects")
+        )
+
+    @property
+    def io_retries(self) -> int:
+        return self.c("array.retries")
+
+    @property
+    def io_timeouts(self) -> int:
+        return self.c("array.timeouts")
+
+    @property
+    def prefetches_dropped(self) -> int:
+        return self.c("cache.prefetches_dropped")
 
     # Section 4.4 dilation ------------------------------------------------------
 

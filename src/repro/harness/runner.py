@@ -8,6 +8,8 @@ from typing import Callable, Dict, Optional
 from repro.apps.agrep import AgrepWorkload, build_agrep
 from repro.apps.gnuld import GnuldWorkload, build_gnuld
 from repro.apps.xdataslice import XdsWorkload, build_xdataslice
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.fs.cache import BlockCache
 from repro.fs.filesystem import FileSystem
 from repro.fs.readahead import SequentialReadAhead
@@ -37,25 +39,39 @@ class System:
     cache: BlockCache
     manager: TipManager
     kernel: Kernel
+    injector: Optional[FaultInjector] = None
 
 
-def build_system(config: SystemConfig, fs: FileSystem) -> System:
+def build_system(
+    config: SystemConfig,
+    fs: FileSystem,
+    fault_plan: Optional[FaultPlan] = None,
+) -> System:
     """Wire up disks, striping, cache, TIP and the kernel over ``fs``.
 
     Call after the file system has been populated (the striped array must
-    cover every allocated block).
+    cover every allocated block).  With ``fault_plan`` set, one
+    :class:`FaultInjector` is threaded through the storage stack and the
+    kernel; without it the machine is bit-identical to the fault-free
+    simulator.
     """
     clock = SimClock()
     engine = EventEngine(clock)
     stats = StatRegistry()
+    injector: Optional[FaultInjector] = None
+    if fault_plan is not None and fault_plan.active:
+        injector = FaultInjector(fault_plan, config.cpu, clock, stats)
     array = StripedArray(
-        fs.total_blocks, config.array, config.disk, config.cpu, engine, stats
+        fs.total_blocks, config.array, config.disk, config.cpu, engine, stats,
+        injector=injector,
     )
     cache = BlockCache(config.cache.capacity_blocks, stats)
     readahead = SequentialReadAhead(config.cache.max_readahead_blocks)
     manager = TipManager(fs, array, cache, readahead, stats, config.tip)
-    kernel = Kernel(config, fs, manager, array, engine, clock, stats)
-    return System(config, clock, engine, stats, fs, array, cache, manager, kernel)
+    kernel = Kernel(config, fs, manager, array, engine, clock, stats,
+                    injector=injector)
+    return System(config, clock, engine, stats, fs, array, cache, manager,
+                  kernel, injector)
 
 
 def _build_postgres(selectivity_pct: int):
@@ -100,7 +116,7 @@ def run_experiment(cfg: ExperimentConfig) -> RunResult:
         binary = tool.transform(binary)
         transform_report = binary.spec_meta.report
 
-    system = build_system(system_config, fs)
+    system = build_system(system_config, fs, fault_plan=cfg.resolved_fault_plan())
     process = system.kernel.spawn(binary)
     system.kernel.run()
     system.manager.finalize()
@@ -122,10 +138,12 @@ def run_experiment(cfg: ExperimentConfig) -> RunResult:
         page_reclaims=process.vmstat.reclaims,
         page_faults=process.vmstat.faults,
     )
+    result.fault_profile = cfg.fault_profile
     if process.spec is not None:
         result.spec_restarts = process.spec.restarts
         result.spec_signals = process.spec.signals
         result.spec_cancel_calls = process.spec.cancel_calls
         result.spec_hints_issued = process.spec.hints_issued
         result.spec_parks = dict(process.spec.parks)
+        result.watchdog_tripped = process.spec.watchdog.trip_reason
     return result

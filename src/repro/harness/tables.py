@@ -7,7 +7,7 @@ read without the paper at hand.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping
+from typing import Dict, Iterable, Mapping
 
 from repro.harness import paper
 from repro.harness.config import Variant

@@ -10,7 +10,10 @@ wall time and interleaving its execution in fixed-size slices.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 from repro.errors import BadFileDescriptor, InvalidSyscall, SimulationError
 from repro.fs.filesystem import FileSystem, Inode
@@ -67,6 +70,7 @@ class Kernel:
         engine: EventEngine,
         clock: SimClock,
         stats: StatRegistry,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.config = config
         self.fs = fs
@@ -75,6 +79,8 @@ class Kernel:
         self.engine = engine
         self.clock = clock
         self.stats = stats
+        #: Fault oracle shared with the storage stack; None = fault-free.
+        self.injector = injector
         self.machine = Machine(self)
         self.processes: List[Process] = []
         self._next_pid = 1
@@ -387,11 +393,31 @@ class Kernel:
         via: Ioctl,
     ) -> int:
         """Issue one hint segment to the cache manager (used both by the
-        hint syscalls and by the SpecHint runtime)."""
+        hint syscalls and by the SpecHint runtime).
+
+        The hint channel is lossy under fault injection (hints may be
+        dropped or rewritten to garbage), and TIP must tolerate whatever
+        arrives: segments are validated and clamped to the file before they
+        reach the manager.  Hints are pure advice — losing or mangling one
+        can only degrade toward the unhinted baseline.
+        """
         self.stats.counter("app.hint_calls").add()
         if inode is None or length <= 0:
             self.stats.counter("app.hint_calls_unresolvable").add()
             return 0
+
+        if self.injector is not None:
+            delivered = self.injector.filter_hint(inode, offset, length)
+            if delivered is None:
+                return 0  # lost in the channel; the caller never knows
+            offset, length = delivered
+
+        # Defensive validation: garbage offsets/lengths must not crash TIP.
+        if offset < 0 or offset >= inode.size or length <= 0:
+            self.stats.counter("app.hint_calls_unresolvable").add()
+            return 0
+        length = min(length, inode.size - offset)
+
         segment = HintSegment(inode, offset, length, pid, via)
         return self.manager.hint_segments(pid, [segment])
 

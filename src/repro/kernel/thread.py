@@ -10,7 +10,7 @@ loop.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Any, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.vm.isa import NUM_REGS, Reg
 

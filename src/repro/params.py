@@ -163,6 +163,28 @@ class ArrayParams:
     #: disk (the paper sets this to 1 for the Figure 6 simulation).
     max_prefetches_per_disk: int = 0
 
+    # -- degraded-mode policy (only exercised under fault injection) --------
+
+    #: Maximum service attempts for a demand read before the array gives up
+    #: and surfaces :class:`~repro.errors.RetriesExhausted`.
+    retry_max_attempts: int = 12
+
+    #: Maximum service attempts for a prefetch; an exhausted prefetch is
+    #: dropped silently (degrades to the unhinted baseline, never an error).
+    prefetch_retry_attempts: int = 2
+
+    #: Backoff before the first retry, in cycles; doubles (see multiplier)
+    #: each further attempt so retries ride out offline windows.
+    retry_backoff_cycles: int = 50_000
+
+    #: Exponential backoff growth factor.
+    retry_backoff_multiplier: float = 2.0
+
+    #: Per-request timeout in cycles; a request not notified within this
+    #: bound is aborted at the disk and retried.  Only armed while a fault
+    #: injector is attached (0 disables).  ~0.5 s at the paper's 233 MHz.
+    request_timeout_cycles: int = 120_000_000
+
 
 @dataclass(frozen=True)
 class CacheParams:
@@ -239,6 +261,24 @@ class SpecHintParams:
     #: Number of original-thread read calls for which speculation stays
     #: disabled once the throttle trips.
     throttle_disable_reads: int = 32
+
+    # -- speculation watchdog (see repro.faults.watchdog) -------------------
+
+    #: Consecutive restarts with no hint-log match in between before the
+    #: watchdog disables speculation for the rest of the run.  0 disables
+    #: this trigger.  Paper benchmarks never reach the default.
+    watchdog_restart_limit: int = 64
+
+    #: Cumulative speculative faults (signals) before the watchdog trips.
+    #: 0 disables this trigger.
+    watchdog_fault_limit: int = 256
+
+    #: Sliding-window hint-log match fraction below which the watchdog
+    #: trips (evaluated only once the window is full).  0.0 disables.
+    watchdog_min_accuracy: float = 0.02
+
+    #: Number of recent hint-log checks in the accuracy window.
+    watchdog_accuracy_window: int = 256
 
 
 @dataclass(frozen=True)

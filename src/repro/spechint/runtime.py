@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional
 
-from repro.errors import FileNotFoundInFS
+from repro.faults.watchdog import SpeculationWatchdog
 from repro.fs.filesystem import Inode
 from repro.params import BLOCK_SIZE
 from repro.spechint.cow import CowMap
@@ -117,6 +117,15 @@ class SpecProcessState:
         self.throttle = SpeculationThrottle(
             meta.params.throttle_cancel_limit, meta.params.throttle_disable_reads
         )
+        #: The safety net: disables speculation for the rest of the run when
+        #: it is demonstrably doing more harm than good (restart storms,
+        #: fault storms, persistently wrong hint logs).
+        self.watchdog = SpeculationWatchdog(
+            restart_limit=meta.params.watchdog_restart_limit,
+            fault_limit=meta.params.watchdog_fault_limit,
+            min_accuracy=meta.params.watchdog_min_accuracy,
+            accuracy_window=meta.params.watchdog_accuracy_window,
+        )
 
         #: Restart handshake (Section 3.2.2).
         self.restart_flag = False
@@ -149,11 +158,24 @@ class SpecProcessState:
         cost = cpu.hintlog_check_cycles
         process = self.process
 
+        if self.watchdog.disabled:
+            return cost  # vanilla execution for the rest of the run
+
         fdstate = process.fds.get(fd_num)
         ino = fdstate.inode.ino if fdstate is not None and fdstate.inode else -1
         offset = fdstate.offset if fdstate is not None else 0
 
-        if self.hint_log.check_and_consume(ino, offset, length):
+        matched = self.hint_log.check_and_consume(ino, offset, length)
+        injector = self.kernel.injector
+        if matched and injector is not None and injector.force_divergence():
+            # Wrong-path exercise: the check is forced to judge speculation
+            # off track even though the entry matched (restart-storm chaos).
+            matched = False
+
+        if self.watchdog.note_check(matched):
+            self._disable_speculation()
+            return cost
+        if matched:
             return cost  # speculation may still be on track
 
         # Off track (strayed or behind): request a restart.
@@ -178,6 +200,8 @@ class SpecProcessState:
     def _wake_spec_thread(self) -> None:
         from repro.kernel.thread import ThreadState
 
+        if self.watchdog.disabled:
+            return
         thread = self.thread
         if thread.state is ThreadState.SPEC_IDLE:
             thread.state = ThreadState.RUNNABLE
@@ -192,9 +216,15 @@ class SpecProcessState:
         """Restart speculation from the saved original-thread state.
 
         Returns the cycle cost (cancel call + COW clear + stack copy +
-        register reload), charged to the speculating thread.
+        register reload), charged to the speculating thread, or ``_STOPPED``
+        when the watchdog disabled speculation instead of restarting it.
         """
         self.restart_flag = False
+        if self.watchdog.disabled:
+            return self.park(thread, "watchdog_disabled")
+        if self.watchdog.note_restart():
+            self._disable_speculation()
+            return self.park(thread, "watchdog_disabled")
         self.restarts += 1
         self.kernel.stats.counter("spec.restarts").add()
 
@@ -432,3 +462,27 @@ class SpecProcessState:
         self.kernel.stats.counter("spec.signals").add()
         thread.state = ThreadState.SPEC_IDLE
         thread.stop_reason = "spec_idle"
+        if self.watchdog.note_fault():
+            self._disable_speculation()
+
+    def _disable_speculation(self) -> None:
+        """Watchdog trip: fall back to vanilla execution for good.
+
+        The speculating thread is parked permanently, the restart handshake
+        is torn down, and outstanding hints are cancelled so TIP stops
+        prefetching down a path nobody will follow.  The original thread is
+        untouched — this is the paper's safety guarantee made operational:
+        losing speculation costs performance, never correctness.
+        """
+        from repro.kernel.thread import ThreadState
+
+        reason = self.watchdog.trip_reason or "unknown"
+        self.restart_flag = False
+        if self.thread.state in (ThreadState.RUNNABLE, ThreadState.SPEC_IDLE):
+            self.thread.state = ThreadState.SPEC_IDLE
+            self.thread.stop_reason = "spec_idle"
+        cancelled = self.kernel.manager.cancel_all(self.process.pid)
+        self.kernel.stats.counter("spec.watchdog_disabled").add()
+        self.kernel.stats.counter(f"spec.watchdog_trip.{reason}").add()
+        if cancelled:
+            self.kernel.stats.counter("spec.watchdog_hints_cancelled").add(cancelled)

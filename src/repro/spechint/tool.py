@@ -36,8 +36,8 @@ from typing import Dict, List, Optional
 from repro.errors import UnsupportedBinary
 from repro.params import SpecHintParams
 from repro.spechint.report import TransformReport
-from repro.vm.binary import INSN_BYTES, Binary, Function, JumpTable
-from repro.vm.isa import SYS_READ, Insn, Op, Reg
+from repro.vm.binary import Binary, Function, JumpTable
+from repro.vm.isa import SYS_READ, Insn, Op
 
 #: Modelled size of the SpecHint auxiliary objects linked into every
 #: speculating executable (dynamic allocator, handling routine, restart

@@ -18,13 +18,16 @@ sequential accesses arises.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 from repro.errors import InvalidBlockError
 from repro.params import BLOCK_SIZE, CpuParams, DiskParams
-from repro.sim.engine import EventEngine
+from repro.sim.engine import Event, EventEngine
 from repro.sim.stats import StatRegistry
 from repro.storage.request import IORequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 
 class Disk:
@@ -39,6 +42,7 @@ class Disk:
         engine: EventEngine,
         stats: StatRegistry,
         on_finish: Callable[[IORequest], None],
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         if nblocks <= 0:
             raise InvalidBlockError(f"disk {disk_id} must have >0 blocks, got {nblocks}")
@@ -50,10 +54,14 @@ class Disk:
         self.stats = stats
         #: Called when the media access finishes (before any notification delay).
         self.on_finish = on_finish
+        #: Fault oracle; None in fault-free runs (zero overhead, identical
+        #: event stream to the pre-fault-injection simulator).
+        self.injector = injector
 
         self._demand_queue: Deque[IORequest] = deque()
         self._prefetch_queue: Deque[IORequest] = deque()
         self._active: Optional[IORequest] = None
+        self._active_event: Optional[Event] = None
 
         # Head / track-buffer state.
         self._last_media_block: int = -(10 ** 9)
@@ -122,11 +130,18 @@ class Disk:
         self._active = request
         request.start_time = self.engine.clock.now
         service_cycles = self._service_cycles(request.physical_block)
+        fault: Optional[str] = None
+        if self.injector is not None:
+            service_cycles, fault = self.injector.on_disk_service(
+                self.disk_id, request, service_cycles
+            )
+            if fault is not None:
+                self.stats.counter(self._prefix + "faulted_accesses").add()
         self.stats.counter(self._prefix + "accesses").add()
         self.stats.distribution(self._prefix + "service_cycles").observe(service_cycles)
-        self.engine.schedule_after(
+        self._active_event = self.engine.schedule_after(
             service_cycles,
-            lambda: self._finish(request),
+            lambda: self._finish(request, fault),
             label=f"disk{self.disk_id}:finish lbn={request.lbn}",
         )
 
@@ -151,8 +166,34 @@ class Disk:
         self._buffer_start = block + 1
         self._buffer_end = min(self.nblocks, block + 1 + self.params.track_readahead_blocks)
 
-    def _finish(self, request: IORequest) -> None:
+    def _finish(self, request: IORequest, fault: Optional[str] = None) -> None:
         request.finish_time = self.engine.clock.now
+        request.fault = fault
         self._active = None
+        self._active_event = None
         self.on_finish(request)
         self._maybe_start()
+
+    # -- aborts (per-request timeouts) --------------------------------------
+
+    def abort(self, request: IORequest) -> bool:
+        """Drop ``request`` wherever it is (queue or mid-service).
+
+        Used by the striped array's per-request timeout.  Returns False when
+        the request is not at this disk anymore (already finishing).
+        """
+        if self._active is request:
+            if self._active_event is not None:
+                self._active_event.cancel()
+                self._active_event = None
+            self._active = None
+            self.stats.counter(self._prefix + "aborted").add()
+            self._maybe_start()
+            return True
+        for queue in (self._demand_queue, self._prefetch_queue):
+            for i, queued in enumerate(queue):
+                if queued is request:
+                    del queue[i]
+                    self.stats.counter(self._prefix + "aborted").add()
+                    return True
+        return False

@@ -46,6 +46,10 @@ class IORequest:
         "finish_time",
         "notify_time",
         "done",
+        "attempts",
+        "fault",
+        "failed",
+        "timeout_event",
     )
 
     _COUNTER = 0
@@ -68,6 +72,15 @@ class IORequest:
         self.finish_time: int = -1
         self.notify_time: int = -1
         self.done: bool = False
+        #: Degraded-mode bookkeeping (only moves under fault injection).
+        self.attempts: int = 1
+        #: Fault kind of the current attempt ("transient"/"offline"/"timeout").
+        self.fault: Optional[str] = None
+        #: True once every allowed retry attempt has failed; callbacks run
+        #: with ``failed`` set so upper layers can degrade (or surface it).
+        self.failed: bool = False
+        #: Pending per-request timeout event, cancelled on completion.
+        self.timeout_event: Optional[object] = None
 
     @property
     def is_demand(self) -> bool:

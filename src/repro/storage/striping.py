@@ -18,14 +18,17 @@ Two evaluation knobs from the paper's Section 4.8 live here:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.errors import InvalidBlockError
+from repro.errors import DiskFaultError, InvalidBlockError, IOTimeoutError
 from repro.params import BLOCK_SIZE, ArrayParams, CpuParams, DiskParams
 from repro.sim.engine import EventEngine
 from repro.sim.stats import StatRegistry
 from repro.storage.disk import Disk
 from repro.storage.request import IOKind, IORequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
 
 
 class StripedArray:
@@ -39,6 +42,7 @@ class StripedArray:
         cpu: CpuParams,
         engine: EventEngine,
         stats: StatRegistry,
+        injector: Optional["FaultInjector"] = None,
     ) -> None:
         if array.ndisks <= 0:
             raise InvalidBlockError(f"array needs >=1 disk, got {array.ndisks}")
@@ -51,12 +55,14 @@ class StripedArray:
         self.cpu = cpu
         self.engine = engine
         self.stats = stats
+        self.injector = injector
         self.blocks_per_unit = array.stripe_unit // BLOCK_SIZE
         self.nblocks = nblocks
 
         per_disk = self._physical_blocks_per_disk(nblocks)
         self.disks: List[Disk] = [
-            Disk(i, per_disk, disk_params, cpu, engine, stats, self._disk_finished)
+            Disk(i, per_disk, disk_params, cpu, engine, stats,
+                 self._disk_finished, injector=injector)
             for i in range(array.ndisks)
         ]
 
@@ -142,6 +148,12 @@ class StripedArray:
 
     def _promote(self, request: IORequest) -> None:
         """Raise an outstanding prefetch to demand priority where possible."""
+        if request.fault is not None:
+            # Waiting out a retry backoff (not at any disk): flip the kind so
+            # the resubmit dispatches at demand priority with demand retry
+            # limits — a demand waiter must never ride a droppable prefetch.
+            request.promote_to_demand()
+            return
         disk_id = request.disk_id
         held = self._held_prefetches[disk_id]
         for i, held_request in enumerate(held):
@@ -156,12 +168,53 @@ class StripedArray:
             self._inflight_prefetches[disk_id] -= 1
             request.kind = IOKind.DEMAND
             self._release_held(disk_id)
-        # Otherwise it is already on the media; nothing to re-prioritize.
+            return
+        # Already on the media: the platters can't be re-prioritized, and
+        # fault-free the attempt always completes, so leave it alone.  Under
+        # fault injection the retry budget must still become demand's — a
+        # blocked reader now waits on this request, so it may not be silently
+        # dropped if the current attempt faults.
+        if self.injector is not None:
+            self._inflight_prefetches[disk_id] -= 1
+            request.promote_to_demand()
+            self._release_held(disk_id)
 
     def _dispatch(self, request: IORequest) -> None:
         if request.kind is IOKind.PREFETCH:
             self._inflight_prefetches[request.disk_id] += 1
+        self._arm_timeout(request)
         self.disks[request.disk_id].submit(request)
+
+    def _arm_timeout(self, request: IORequest) -> None:
+        """Per-attempt request timeout; only armed under fault injection
+        (fault-free runs keep a bit-identical event stream)."""
+        timeout = self.array.request_timeout_cycles
+        if self.injector is None or timeout <= 0:
+            return
+        request.timeout_event = self.engine.schedule_after(
+            timeout,
+            lambda: self._timeout_fired(request),
+            label=f"array:timeout lbn={request.lbn}",
+        )
+
+    def _disarm_timeout(self, request: IORequest) -> None:
+        event = request.timeout_event
+        if event is not None:
+            event.cancel()
+            request.timeout_event = None
+
+    def _timeout_fired(self, request: IORequest) -> None:
+        request.timeout_event = None
+        if request.done or request.fault is not None:
+            return  # completed or already in the retry path
+        if not self.disks[request.disk_id].abort(request):
+            return  # finishing this very cycle; let completion win
+        if request.kind is IOKind.PREFETCH:
+            self._inflight_prefetches[request.disk_id] -= 1
+            self._release_held(request.disk_id)
+        request.fault = "timeout"
+        self.stats.counter("array.timeouts").add()
+        self._handle_fault(request)
 
     def _chain_callback(self, request: IORequest, callback: Callable[[IORequest], None]) -> None:
         previous = request.callback
@@ -176,9 +229,14 @@ class StripedArray:
     # -- completion path ----------------------------------------------------
 
     def _disk_finished(self, request: IORequest) -> None:
+        self._disarm_timeout(request)
         if request.kind is IOKind.PREFETCH:
             self._inflight_prefetches[request.disk_id] -= 1
             self._release_held(request.disk_id)
+
+        if request.fault is not None:
+            self._handle_fault(request)
+            return
 
         factor = self.array.completion_delay_factor
         if factor > 1.0:
@@ -197,6 +255,56 @@ class StripedArray:
         held = self._held_prefetches[disk_id]
         while held and (limit <= 0 or self._inflight_prefetches[disk_id] < limit):
             self._dispatch(held.popleft())
+
+    # -- degraded mode: retry with backoff / terminal failure ----------------
+
+    def _retry_limit(self, request: IORequest) -> int:
+        if request.is_demand:
+            return max(1, self.array.retry_max_attempts)
+        return max(1, self.array.prefetch_retry_attempts)
+
+    def _handle_fault(self, request: IORequest) -> None:
+        """One attempt failed (transient/offline error or timeout)."""
+        self.stats.counter("array.faulted_attempts").add()
+        if request.attempts < self._retry_limit(request):
+            delay = int(
+                self.array.retry_backoff_cycles
+                * self.array.retry_backoff_multiplier ** (request.attempts - 1)
+            )
+            request.attempts += 1
+            self.stats.counter("array.retries").add()
+            self.engine.schedule_after(
+                max(1, delay),
+                lambda: self._resubmit(request),
+                label=f"array:retry lbn={request.lbn}",
+            )
+            return
+
+        # Retries exhausted: notify with ``failed`` set.  Demand callers
+        # surface RetriesExhausted; prefetch callers drop the block silently
+        # and the read degrades to the unhinted baseline.
+        request.failed = True
+        if request.is_demand:
+            self.stats.counter("array.demand_failures").add()
+        else:
+            self.stats.counter("array.prefetches_dropped").add()
+        self._notify(request)
+
+    def _resubmit(self, request: IORequest) -> None:
+        if request.done:
+            return
+        request.fault = None
+        self._dispatch(request)
+
+    @staticmethod
+    def failure_cause(request: IORequest) -> Exception:
+        """The typed error behind a failed request (for raisers upstream)."""
+        where = f"lbn={request.lbn} disk={request.disk_id}"
+        if request.fault == "timeout":
+            return IOTimeoutError(f"request {where} timed out after "
+                                  f"{request.attempts} attempts")
+        return DiskFaultError(f"request {where} faulted "
+                              f"({request.fault}) after {request.attempts} attempts")
 
     def _notify(self, request: IORequest) -> None:
         request.notify_time = self.engine.clock.now

@@ -27,7 +27,7 @@ from repro.fs.cache import BlockCache, BlockKey, CacheEntry, EntryState, FetchOr
 from repro.fs.filesystem import FileSystem, Inode
 from repro.fs.manager import CacheManagerBase
 from repro.fs.readahead import SequentialReadAhead
-from repro.params import BLOCK_SIZE, TipParams
+from repro.params import TipParams
 from repro.sim.stats import StatRegistry
 from repro.storage.striping import StripedArray
 from repro.tip.accuracy import HintAccuracyTracker
@@ -253,6 +253,16 @@ class TipManager(CacheManagerBase):
         disk = self._inflight_hint_fetch.pop(key, None)
         if disk is not None:
             self._inflight_per_disk[disk] -= 1
+        for pid in self._procs:
+            self._schedule_prefetches(pid)
+
+    def on_prefetch_dropped(self, key: BlockKey) -> None:
+        """A hinted prefetch failed terminally: release its in-flight slot
+        so the per-disk limit does not leak, and keep prefetching others."""
+        disk = self._inflight_hint_fetch.pop(key, None)
+        if disk is not None:
+            self._inflight_per_disk[disk] -= 1
+            self.stats.counter("tip.prefetches_dropped").add()
         for pid in self._procs:
             self._schedule_prefetches(pid)
 

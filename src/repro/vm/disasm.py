@@ -8,7 +8,7 @@ begins).  Used by the CLI's ``disasm`` command and by tests.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, Optional
 
 from repro.vm.binary import Binary
 from repro.vm.isa import Insn, Op, Reg, SYSCALL_NAMES

@@ -19,9 +19,9 @@ signal-handler design (Section 3.2.1).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
-from repro.errors import ArithmeticFault, IllegalAddress, MachineFault, SimulationError
+from repro.errors import ArithmeticFault, MachineFault
 from repro.sim.clock import SimClock
 from repro.sim.engine import EventEngine
 from repro.vm.isa import (
@@ -142,6 +142,9 @@ class Machine:
                     thread.poll_counter = 0
                     if spec is not None and spec.restart_flag:
                         cost = spec.perform_restart(thread)
+                        if cost == _STOPPED:
+                            # Watchdog disabled speculation mid-restart.
+                            return thread.stop_reason
                         if not self._charge(thread, cost, budget):
                             return "event" if budget is None else "budget"
                         if budget is not None:

@@ -8,13 +8,10 @@ import pytest
 
 from repro.fs.filesystem import FileSystem
 from repro.harness.runner import System, build_system
-from repro.kernel.kernel import Kernel
 from repro.kernel.process import Process
 from repro.params import (
     ArrayParams,
     CacheParams,
-    CpuParams,
-    DiskParams,
     SpecHintParams,
     SystemConfig,
     TipParams,

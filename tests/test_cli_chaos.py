@@ -1,0 +1,80 @@
+"""CLI tests for chaos mode and ReproError handling."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import RetriesExhausted
+
+
+class TestChaosFlags:
+    def test_chaos_choices_are_the_profiles(self):
+        args = build_parser().parse_args(
+            ["run", "agrep", "--chaos", "transient-errors"])
+        assert args.chaos == "transient-errors"
+        assert args.fault_seed == 7
+
+    def test_unknown_profile_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "agrep", "--chaos", "gremlins"])
+
+    def test_run_with_chaos_prints_fault_summary(self, capsys):
+        assert main(["run", "agrep", "--scale", "0.2",
+                     "--chaos", "transient-errors"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos:" in out
+        assert "transient-errors" in out
+        assert "retries" in out
+
+    def test_run_without_chaos_omits_fault_summary(self, capsys):
+        assert main(["run", "agrep", "--scale", "0.2"]) == 0
+        assert "chaos:" not in capsys.readouterr().out
+
+    def test_chaos_none_is_fault_free(self, capsys):
+        assert main(["run", "agrep", "--scale", "0.2",
+                     "--chaos", "none"]) == 0
+        assert "chaos:" not in capsys.readouterr().out
+
+    def test_compare_accepts_chaos(self, capsys):
+        assert main(["compare", "agrep", "--scale", "0.2",
+                     "--chaos", "stuck-disk"]) == 0
+        assert "improvement" in capsys.readouterr().out
+
+
+class TestErrorExit:
+    def test_repro_error_exits_one_with_one_line(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        def boom(cfg):
+            raise RetriesExhausted("demand read for lbn 5 failed after 12 attempts")
+
+        monkeypatch.setattr(cli, "run_experiment", boom)
+        assert main(["run", "agrep"]) == 1
+        captured = capsys.readouterr()
+        assert captured.err.count("\n") == 1  # exactly one line
+        assert "repro: error: RetriesExhausted" in captured.err
+        assert "lbn 5" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_main_module_maps_error_to_exit_status(self):
+        import subprocess
+        import sys
+
+        # A run that cannot succeed: total disk failure would raise
+        # RetriesExhausted out of the library; __main__ must turn it into
+        # exit status 1 and a single stderr line.
+        code = (
+            "import sys; sys.argv = ['repro', 'run', 'agrep']\n"
+            "from unittest import mock\n"
+            "import repro.cli as cli\n"
+            "from repro.errors import DiskFaultError\n"
+            "def boom(cfg): raise DiskFaultError('disk 0 gave up')\n"
+            "cli.run_experiment = boom\n"
+            "sys.exit(cli.main(['run', 'agrep']))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "repro: error: DiskFaultError: disk 0 gave up" in proc.stderr
+        assert "Traceback" not in proc.stderr

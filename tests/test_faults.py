@@ -1,0 +1,245 @@
+"""Unit tests for the fault-injection subsystem: plans, injector, watchdog."""
+
+import pytest
+
+from repro.errors import (
+    DiskFaultError,
+    FaultError,
+    IOTimeoutError,
+    ReproError,
+    RetriesExhausted,
+)
+from repro.faults.injector import (
+    FAULT_OFFLINE,
+    FAULT_TRANSIENT,
+    FaultInjector,
+)
+from repro.faults.plan import PROFILES, FaultPlan, profile
+from repro.faults.watchdog import SpeculationWatchdog
+from repro.fs.filesystem import FileSystem
+from repro.params import BLOCK_SIZE, CpuParams
+from repro.sim.clock import SimClock
+from repro.sim.stats import StatRegistry
+from repro.storage.request import IOKind, IORequest
+
+
+class TestErrorHierarchy:
+    def test_fault_errors_are_repro_errors(self):
+        for cls in (DiskFaultError, IOTimeoutError, RetriesExhausted):
+            assert issubclass(cls, FaultError)
+            assert issubclass(cls, ReproError)
+
+
+class TestFaultPlan:
+    def test_default_plan_is_inert(self):
+        assert not FaultPlan().active
+
+    def test_every_builtin_profile_except_none_is_active(self):
+        for name, plan in PROFILES.items():
+            assert plan.name == name
+            assert plan.active == (name != "none")
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            profile("full-moon")
+
+    def test_profile_reseeding(self):
+        plan = profile("transient-errors", seed=99)
+        assert plan.seed == 99
+        assert PROFILES["transient-errors"].seed == 7  # original untouched
+
+    def test_with_seed_preserves_rates(self):
+        plan = PROFILES["hint-corruption"].with_seed(3)
+        assert plan.hint_drop_rate == PROFILES["hint-corruption"].hint_drop_rate
+        assert plan.seed == 3
+
+    def test_slow_window_requires_duration(self):
+        assert not FaultPlan(slow_factor=50.0).active
+        assert FaultPlan(slow_factor=50.0, slow_duration_s=0.01).active
+
+    def test_offline_requires_disk_and_duration(self):
+        assert not FaultPlan(offline_disk=0).active
+        assert FaultPlan(offline_disk=0, offline_duration_s=0.01).active
+
+
+def make_injector(plan):
+    clock = SimClock()
+    stats = StatRegistry()
+    return FaultInjector(plan, CpuParams(), clock, stats), clock, stats
+
+
+def request(lbn=0):
+    return IORequest(lbn=lbn, kind=IOKind.DEMAND)
+
+
+class TestInjectorDiskFaults:
+    def test_inert_plan_never_faults(self):
+        injector, _, stats = make_injector(FaultPlan())
+        for lbn in range(50):
+            cycles, fault = injector.on_disk_service(0, request(lbn), 1000)
+            assert cycles == 1000 and fault is None
+        assert stats.snapshot() == {}
+
+    def test_transient_rate_roughly_respected(self):
+        injector, _, stats = make_injector(FaultPlan(disk_error_rate=0.2))
+        faults = sum(
+            injector.on_disk_service(0, request(i), 1000)[1] == FAULT_TRANSIENT
+            for i in range(500)
+        )
+        assert 50 < faults < 150  # ~100 expected
+        assert stats.get("faults.disk_transient_errors") == faults
+
+    def test_offline_window_fails_fast(self):
+        plan = FaultPlan(offline_disk=1, offline_start_s=0.0,
+                         offline_duration_s=0.001)
+        injector, clock, stats = make_injector(plan)
+        cycles, fault = injector.on_disk_service(1, request(), 1000)
+        assert fault == FAULT_OFFLINE
+        assert cycles < 1000  # command-overhead reject, no media access
+        # Other disks are unaffected.
+        assert injector.on_disk_service(0, request(), 1000) == (1000, None)
+        # After the window the disk recovers.
+        clock.advance(CpuParams().cycles(0.002))
+        assert injector.on_disk_service(1, request(), 1000) == (1000, None)
+        assert stats.get("faults.disk_offline_rejects") == 1
+
+    def test_slow_window_stretches_service(self):
+        plan = FaultPlan(slow_factor=10.0, slow_start_s=0.0,
+                         slow_duration_s=0.001)
+        injector, clock, stats = make_injector(plan)
+        cycles, fault = injector.on_disk_service(0, request(), 1000)
+        assert (cycles, fault) == (10_000, None)
+        clock.advance(CpuParams().cycles(0.002))
+        assert injector.on_disk_service(0, request(), 1000) == (1000, None)
+        assert stats.get("faults.disk_slow_services") == 1
+
+    def test_same_seed_same_decisions(self):
+        plan = FaultPlan(disk_error_rate=0.3)
+        a, _, _ = make_injector(plan)
+        b, _, _ = make_injector(plan)
+        decisions_a = [a.on_disk_service(0, request(i), 100) for i in range(200)]
+        decisions_b = [b.on_disk_service(0, request(i), 100) for i in range(200)]
+        assert decisions_a == decisions_b
+
+    def test_different_seed_different_decisions(self):
+        plan = FaultPlan(disk_error_rate=0.3)
+        a, _, _ = make_injector(plan)
+        b, _, _ = make_injector(plan.with_seed(8))
+        decisions_a = [a.on_disk_service(0, request(i), 100)[1] for i in range(200)]
+        decisions_b = [b.on_disk_service(0, request(i), 100)[1] for i in range(200)]
+        assert decisions_a != decisions_b
+
+    def test_disks_draw_from_independent_streams(self):
+        plan = FaultPlan(disk_error_rate=0.3)
+        a, _, _ = make_injector(plan)
+        d0 = [a.on_disk_service(0, request(i), 100)[1] for i in range(200)]
+        d1 = [a.on_disk_service(1, request(i), 100)[1] for i in range(200)]
+        assert d0 != d1
+
+
+class TestInjectorHintChannel:
+    def _inode(self):
+        fs = FileSystem()
+        return fs.create("f.dat", bytes(4 * BLOCK_SIZE))
+
+    def test_clean_channel_passes_hints_through(self):
+        injector, _, _ = make_injector(FaultPlan())
+        inode = self._inode()
+        assert injector.filter_hint(inode, 100, 200) == (100, 200)
+
+    def test_drop_rate_one_drops_everything(self):
+        injector, _, stats = make_injector(FaultPlan(hint_drop_rate=1.0))
+        inode = self._inode()
+        for _ in range(10):
+            assert injector.filter_hint(inode, 0, 100) is None
+        assert stats.get("faults.hints_dropped") == 10
+
+    def test_corruption_rewrites_but_never_drops(self):
+        injector, _, stats = make_injector(FaultPlan(hint_corrupt_rate=1.0))
+        inode = self._inode()
+        for _ in range(20):
+            delivered = injector.filter_hint(inode, 0, 100)
+            assert delivered is not None
+            offset, length = delivered
+            assert length >= 1
+        assert stats.get("faults.hints_corrupted") == 20
+
+
+class TestInjectorSpecFaults:
+    def test_zero_rate_never_diverges(self):
+        injector, _, _ = make_injector(FaultPlan())
+        assert not any(injector.force_divergence() for _ in range(100))
+
+    def test_rate_one_always_diverges(self):
+        injector, _, stats = make_injector(FaultPlan(spec_divergence_rate=1.0))
+        assert all(injector.force_divergence() for _ in range(10))
+        assert stats.get("faults.spec_divergence") == 10
+
+
+class TestWatchdog:
+    def test_restart_storm_trips_at_limit(self):
+        dog = SpeculationWatchdog(restart_limit=3)
+        assert not dog.note_restart()
+        assert not dog.note_restart()
+        assert dog.note_restart()
+        assert dog.disabled
+        assert dog.trip_reason == "restart_storm"
+
+    def test_match_resets_consecutive_restarts(self):
+        dog = SpeculationWatchdog(restart_limit=3)
+        dog.note_restart()
+        dog.note_restart()
+        dog.note_check(matched=True)
+        assert not dog.note_restart()
+        assert not dog.disabled
+
+    def test_mismatch_does_not_reset(self):
+        dog = SpeculationWatchdog(restart_limit=3)
+        dog.note_restart()
+        dog.note_restart()
+        dog.note_check(matched=False)
+        assert dog.note_restart()
+
+    def test_fault_storm_is_cumulative(self):
+        dog = SpeculationWatchdog(fault_limit=5)
+        for _ in range(4):
+            assert not dog.note_fault()
+        dog.note_check(matched=True)  # matches do not forgive faults
+        assert dog.note_fault()
+        assert dog.trip_reason == "fault_storm"
+
+    def test_low_accuracy_needs_full_window(self):
+        dog = SpeculationWatchdog(min_accuracy=0.5, accuracy_window=4)
+        assert not dog.note_check(False)
+        assert not dog.note_check(False)
+        assert not dog.note_check(False)  # window not full yet
+        assert dog.note_check(False)
+        assert dog.trip_reason == "low_accuracy"
+
+    def test_accurate_window_does_not_trip(self):
+        dog = SpeculationWatchdog(min_accuracy=0.5, accuracy_window=4)
+        for _ in range(8):
+            dog.note_check(True)
+        assert not dog.disabled
+        assert dog.sliding_accuracy == 1.0
+
+    def test_zero_limits_disable_triggers(self):
+        dog = SpeculationWatchdog(restart_limit=0, fault_limit=0,
+                                  min_accuracy=0.0)
+        for _ in range(1000):
+            dog.note_restart()
+            dog.note_fault()
+            dog.note_check(False)
+        assert not dog.disabled
+
+    def test_first_trip_reason_sticks(self):
+        dog = SpeculationWatchdog(restart_limit=1, fault_limit=1)
+        dog.note_restart()
+        dog.note_fault()
+        assert dog.trip_reason == "restart_storm"
+
+    def test_repr_mentions_state(self):
+        dog = SpeculationWatchdog(restart_limit=1)
+        assert "armed" in repr(dog)
+        dog.note_restart()
+        assert "tripped:restart_storm" in repr(dog)

@@ -1,8 +1,7 @@
 """Tests for the cache-manager base mechanics and the baseline UBC."""
 
-import pytest
 
-from repro.fs.cache import BlockCache, EntryState, FetchOrigin
+from repro.fs.cache import BlockCache, FetchOrigin
 from repro.fs.filesystem import FileSystem
 from repro.fs.readahead import SequentialReadAhead
 from repro.fs.ubc import UbcManager

@@ -4,12 +4,9 @@ multiprocessor extension."""
 import pytest
 
 from repro.errors import SimulationError
-from repro.fs.filesystem import FileSystem
 from repro.kernel.thread import PRIO_ORIGINAL, PRIO_SPECULATING, ThreadState
-from repro.params import BLOCK_SIZE
 from repro.spechint.tool import SpecHintTool
-from repro.vm.isa import SYS_EXIT, SYS_OPEN, SYS_READ, Reg
-from repro.vm.stdlib import emit_stdlib
+from repro.vm.isa import SYS_EXIT, Reg
 from repro.vm.assembler import Assembler
 
 from tests.conftest import make_system, small_system_config

@@ -16,7 +16,7 @@ from repro.fs.filesystem import FileSystem
 from repro.params import BLOCK_SIZE
 from repro.spechint.tool import SpecHintTool
 from repro.vm.assembler import Assembler
-from repro.vm.isa import SYS_CLOSE, SYS_EXIT, SYS_OPEN, SYS_READ, Reg
+from repro.vm.isa import SYS_EXIT, SYS_OPEN, SYS_READ, Reg
 from repro.vm.stdlib import emit_stdlib
 
 from tests.conftest import make_system, small_system_config

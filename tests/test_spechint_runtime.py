@@ -1,7 +1,6 @@
 """End-to-end tests of the SpecHint runtime: correctness, hint generation,
 the restart protocol, side-effect suppression, and signals."""
 
-import pytest
 
 from repro.fs.filesystem import FileSystem
 from repro.params import BLOCK_SIZE, SpecHintParams

@@ -1,11 +1,10 @@
 """Focused tests of SpecProcessState internals: the speculative fd table,
 user-space syscall emulation, the restart handshake, and peek-copy."""
 
-import pytest
 
 from repro.fs.filesystem import FileSystem
 from repro.kernel.thread import ThreadState
-from repro.params import BLOCK_SIZE, SpecHintParams
+from repro.params import BLOCK_SIZE
 from repro.spechint.tool import SpecHintTool
 from repro.vm.assembler import Assembler
 from repro.vm.isa import (

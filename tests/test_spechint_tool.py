@@ -6,7 +6,7 @@ from repro.errors import UnsupportedBinary
 from repro.params import SpecHintParams
 from repro.spechint.tool import SpecHintTool, SpeculatingBinary
 from repro.vm.assembler import Assembler
-from repro.vm.isa import Op, Reg, SYS_READ, SYS_WRITE, SYS_EXIT
+from repro.vm.isa import Op, Reg, SYS_READ, SYS_EXIT
 from repro.vm.stdlib import emit_stdlib
 
 

@@ -1,0 +1,214 @@
+"""Degraded-mode storage tests: retry/backoff, timeouts, prefetch dropping.
+
+These drive the striped array (and, at the end, a whole small system)
+under hostile :class:`FaultPlan`\\ s and check the paper-level invariant:
+demand reads either eventually succeed or fail with a *typed* error, and
+prefetch failures are always absorbed silently.
+"""
+
+import pytest
+
+from repro.errors import DiskFaultError, IOTimeoutError, RetriesExhausted
+from repro.faults.injector import FAULT_TIMEOUT, FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.params import (
+    BLOCKS_PER_STRIPE_UNIT,
+    ArrayParams,
+    CpuParams,
+    DiskParams,
+)
+from repro.sim.clock import SimClock
+from repro.sim.engine import EventEngine
+from repro.sim.stats import StatRegistry
+from repro.storage.request import IOKind, IORequest
+from repro.storage.striping import StripedArray
+from repro.vm.isa import SYS_OPEN, SYS_READ, Reg
+
+from tests.conftest import make_populated_fs, small_system_config
+
+
+def make_chaos_array(plan, nblocks=1024, **array_kwargs):
+    """A striped array wired to a fault injector for ``plan``."""
+    clock = SimClock()
+    engine = EventEngine(clock)
+    stats = StatRegistry()
+    cpu = CpuParams()
+    injector = FaultInjector(plan, cpu, clock, stats)
+    array = StripedArray(
+        nblocks, ArrayParams(**array_kwargs), DiskParams(), cpu,
+        engine, stats, injector=injector,
+    )
+    return array, engine, stats
+
+
+def drain(engine):
+    while engine.advance_to_next():
+        pass
+
+
+class TestRetryBackoff:
+    def test_demand_survives_transient_faults(self):
+        plan = FaultPlan(disk_error_rate=0.5)
+        array, engine, stats = make_chaos_array(plan)
+        done = []
+        for unit in range(8):
+            array.submit(unit * BLOCKS_PER_STRIPE_UNIT, IOKind.DEMAND,
+                         done.append)
+        drain(engine)
+        assert len(done) == 8
+        assert all(r.done and not r.failed for r in done)
+        # At a 50% error rate, 8 requests essentially cannot all pass clean.
+        assert stats.get("array.retries") > 0
+        assert max(r.attempts for r in done) > 1
+
+    def test_retries_exhausted_marks_demand_failed(self):
+        plan = FaultPlan(disk_error_rate=1.0)
+        array, engine, stats = make_chaos_array(plan, retry_max_attempts=3)
+        done = []
+        array.submit(0, IOKind.DEMAND, done.append)
+        drain(engine)
+        (req,) = done
+        assert req.failed and req.done
+        assert req.attempts == 3
+        assert stats.get("array.demand_failures") == 1
+        assert isinstance(StripedArray.failure_cause(req), DiskFaultError)
+
+    def test_failed_prefetch_dropped_silently(self):
+        plan = FaultPlan(disk_error_rate=1.0)
+        array, engine, stats = make_chaos_array(plan, prefetch_retry_attempts=2)
+        done = []
+        array.submit(0, IOKind.PREFETCH, done.append)
+        drain(engine)
+        (req,) = done
+        assert req.failed
+        assert req.attempts == 2  # prefetches get the short retry budget
+        assert stats.get("array.prefetches_dropped") == 1
+        assert stats.get("array.demand_failures") == 0
+
+    def test_backoff_rides_out_offline_window(self):
+        # Disk 0 offline for 2 ms from t=0; backoff must outlast the window.
+        plan = FaultPlan(offline_disk=0, offline_start_s=0.0,
+                         offline_duration_s=0.002)
+        array, engine, stats = make_chaos_array(plan)
+        done = []
+        array.submit(0, IOKind.DEMAND, done.append)
+        drain(engine)
+        (req,) = done
+        assert req.done and not req.failed
+        assert req.attempts > 1
+        assert stats.get("faults.disk_offline_rejects") > 0
+        assert stats.get("array.retries") > 0
+
+    def test_demand_joining_backed_off_prefetch_is_promoted(self):
+        """A demand read that coalesces onto a prefetch waiting out its
+        retry backoff must flip it to demand — otherwise the waiter could
+        ride a droppable prefetch and never wake."""
+        plan = FaultPlan(disk_error_rate=1.0)
+        array, engine, stats = make_chaos_array(
+            plan, retry_max_attempts=4, prefetch_retry_attempts=2,
+        )
+        done = []
+        prefetch = array.submit(0, IOKind.PREFETCH, done.append)
+        # Step until the prefetch has faulted and sits in its backoff window.
+        while prefetch.fault is None:
+            assert engine.advance_to_next()
+        joined = array.submit(0, IOKind.DEMAND, done.append)
+        assert joined is prefetch
+        assert prefetch.is_demand
+        drain(engine)
+        # The demand retry budget (4) now applies, not the prefetch one (2).
+        assert prefetch.attempts == 4
+        assert stats.get("array.demand_failures") == 1
+        assert stats.get("array.prefetches_dropped") == 0
+
+
+class TestTimeouts:
+    def test_timeout_not_armed_without_injector(self):
+        clock = SimClock()
+        engine = EventEngine(clock)
+        array = StripedArray(1024, ArrayParams(), DiskParams(), CpuParams(),
+                             engine, StatRegistry())
+        req = array.submit(0, IOKind.DEMAND, lambda r: None)
+        assert req.timeout_event is None
+        drain(engine)
+
+    def test_stuck_disk_times_out_and_recovers(self):
+        # Service times inside the window are stretched 1000x (normal is
+        # ~3.4M cycles); a timeout above normal but far below the stuck
+        # service aborts the stuck attempt, and the retry after the window
+        # completes normally.
+        plan = FaultPlan(slow_factor=1000.0, slow_start_s=0.0,
+                         slow_duration_s=0.02)
+        array, engine, stats = make_chaos_array(
+            plan,
+            request_timeout_cycles=5_000_000,
+            retry_backoff_cycles=5_000_000,
+        )
+        done = []
+        req = array.submit(0, IOKind.DEMAND, done.append)
+        assert req.timeout_event is not None
+        drain(engine)
+        assert done and done[0].done and not done[0].failed
+        assert stats.get("array.timeouts") >= 1
+        assert stats.get("disk0.aborted") >= 1
+
+    def test_timeout_failure_cause_is_typed(self):
+        req = IORequest(lbn=0, kind=IOKind.DEMAND)
+        req.failed = True
+        req.fault = FAULT_TIMEOUT
+        assert isinstance(StripedArray.failure_cause(req), IOTimeoutError)
+
+
+class TestSystemDegradation:
+    """Whole-system checks through kernel + cache manager."""
+
+    def _read_program(self, nbytes=3 * 8192):
+        def body(asm):
+            asm.data_space("buf", nbytes)
+            asm.data_asciiz("path", "f0.dat")
+            asm.la(Reg.a0, "path")
+            asm.syscall(SYS_OPEN)
+            asm.mov(Reg.s1, Reg.v0)
+            asm.mov(Reg.a0, Reg.s1)
+            asm.la(Reg.a1, "buf")
+            asm.li(Reg.a2, nbytes)
+            asm.syscall(SYS_READ)
+            asm.mov(Reg.s0, Reg.v0)
+
+        return body
+
+    def _run(self, plan, **config_kwargs):
+        from repro.harness.runner import build_system
+        from tests.conftest import assemble
+
+        fs = make_populated_fs()
+        system = build_system(small_system_config(**config_kwargs), fs,
+                              fault_plan=plan)
+        binary = assemble(self._read_program())
+        process = system.kernel.spawn(binary)
+        system.kernel.run()
+        return system, process
+
+    def test_demand_read_succeeds_under_transient_faults(self):
+        system, process = self._run(FaultPlan(disk_error_rate=0.6))
+        assert process.original_thread.reg(Reg.s0) == 3 * 8192
+        assert system.stats.get("faults.disk_transient_errors") > 0
+        assert system.stats.get("array.retries") > 0
+        assert system.stats.get("array.demand_failures") == 0
+
+    def test_unrecoverable_demand_read_raises_typed_error(self):
+        import dataclasses
+
+        config = small_system_config()
+        config = config.replace(
+            array=dataclasses.replace(config.array, retry_max_attempts=2),
+        )
+        from repro.harness.runner import build_system
+        from tests.conftest import assemble
+
+        fs = make_populated_fs()
+        system = build_system(config, fs,
+                              fault_plan=FaultPlan(disk_error_rate=1.0))
+        process = system.kernel.spawn(assemble(self._read_program()))
+        with pytest.raises(RetriesExhausted):
+            system.kernel.run()

@@ -1,6 +1,6 @@
 """Focused tests of TIP's cost-benefit eviction policy."""
 
-from repro.fs.cache import BlockCache, FetchOrigin
+from repro.fs.cache import BlockCache
 from repro.fs.filesystem import FileSystem
 from repro.fs.readahead import SequentialReadAhead
 from repro.params import (

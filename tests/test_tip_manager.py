@@ -1,8 +1,7 @@
 """Tests for the TIP informed prefetching and caching manager."""
 
-import pytest
 
-from repro.fs.cache import BlockCache, FetchOrigin
+from repro.fs.cache import BlockCache
 from repro.fs.filesystem import FileSystem
 from repro.fs.readahead import SequentialReadAhead
 from repro.params import (

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ArithmeticFault, IllegalAddress, MachineFault
-from repro.vm.isa import Reg, SYS_SBRK, SYS_EXIT, to_signed
+from repro.vm.isa import Reg, SYS_SBRK, to_signed
 from repro.vm.memory import DATA_BASE
 
 from tests.conftest import run_program

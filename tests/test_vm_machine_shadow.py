@@ -1,15 +1,12 @@
 """Machine-level tests of shadow-code execution: COW dispatch, SCWORK,
 dynamic control transfers, budget mode, and speculative fault handling."""
 
-import pytest
 
 from repro.fs.filesystem import FileSystem
 from repro.kernel.thread import ThreadState
-from repro.params import BLOCK_SIZE
 from repro.spechint.tool import SpecHintTool
 from repro.vm.assembler import Assembler
-from repro.vm.isa import Op, Reg, SYS_EXIT
-from repro.vm.memory import DATA_BASE
+from repro.vm.isa import Reg, SYS_EXIT
 
 from tests.conftest import make_system, small_system_config
 
