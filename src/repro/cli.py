@@ -63,6 +63,8 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if getattr(args, "oracle", False):
+        return _run_oracle(args)
     cfg = _base_config(args).with_(variant=Variant(args.variant))
     result = run_experiment(cfg)
     print(result.summary())
@@ -92,6 +94,44 @@ def cmd_run(args: argparse.Namespace) -> int:
         for name, value in result.fault_events().items():
             print(f"    {name:40s} {value}")
     return 0
+
+
+def _run_oracle(args: argparse.Namespace) -> int:
+    """``run APP --oracle``: the differential correctness oracle.
+
+    With ``--chaos`` set the oracle checks that one profile; without it,
+    the fault-free baseline plus every built-in chaos profile.
+    """
+    from repro.harness.checkpoint import atomic_write_json
+    from repro.harness.oracle import ORACLE_PROFILES, run_oracle
+
+    system = SystemConfig(
+        array=ArrayParams(ndisks=args.disks), ncpus=args.ncpus
+    )
+    chaos = getattr(args, "chaos", None)
+    if chaos is not None:
+        profiles = (chaos if chaos != "none" else None,)
+    else:
+        profiles = ORACLE_PROFILES
+    report = run_oracle(
+        (args.app,),
+        profiles=profiles,
+        workload_scale=args.scale,
+        fault_seed=getattr(args, "fault_seed", 7),
+        system=system,
+    )
+    for cell in report.cells:
+        verdict = "ok" if cell.passed else "MISMATCH"
+        line = f"  {cell.app:12s} {cell.profile_name:18s} {verdict}"
+        if not cell.passed:
+            line += f"  ({cell.detail})"
+        print(line)
+    print(report.summary())
+    report_path = getattr(args, "oracle_report", None)
+    if report_path:
+        atomic_write_json(report_path, report.to_jsonable())
+        print(f"oracle report written to {report_path}")
+    return 0 if report.passed else 1
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -157,17 +197,39 @@ def cmd_transform(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    if args.kind == "disks":
+    checkpoint = getattr(args, "checkpoint", None)
+    if checkpoint is None and getattr(args, "resume", False):
+        raise ReproError("--resume requires --checkpoint PATH")
+    if checkpoint is not None:
+        # Crash-safe path: run cell by cell, checkpointing each result
+        # atomically; --resume restores completed cells after a kill.
+        from repro.harness.experiments import run_sweep_resumable
+
+        def progress(key: str, resumed: bool) -> None:
+            print(f"  [{'resumed' if resumed else 'ran    '}] {key}")
+
+        sweep = run_sweep_resumable(
+            args.kind,
+            workload_scale=args.scale,
+            checkpoint_path=checkpoint,
+            resume=getattr(args, "resume", False),
+            progress=progress,
+        )
+    elif args.kind == "disks":
         sweep = run_disk_sweep((1, 2, 4, 10), workload_scale=args.scale)
+    elif args.kind == "cache":
+        sweep = run_cache_size_sweep((6.0, 12.0, 32.0),
+                                     workload_scale=args.scale)
+    else:
+        sweep = run_cpu_ratio_sweep((1, 3, 5, 9), workload_scale=args.scale)
+
+    if args.kind == "disks":
         print(format_table8(sweep))
         print()
         print(format_improvement_series(sweep, "number of disks"))
     elif args.kind == "cache":
-        sweep = run_cache_size_sweep((6.0, 12.0, 32.0),
-                                     workload_scale=args.scale)
         print(format_table7(sweep))
     else:
-        sweep = run_cpu_ratio_sweep((1, 3, 5, 9), workload_scale=args.scale)
         print(format_improvement_series(sweep, "processor/disk speed ratio"))
     return 0
 
@@ -213,6 +275,14 @@ def build_parser() -> argparse.ArgumentParser:
     common(run_p)
     run_p.add_argument("--variant", default="speculating",
                        choices=[v.value for v in Variant])
+    run_p.add_argument("--oracle", action="store_true",
+                       help="differential correctness oracle: run spec-on "
+                            "vs spec-off and assert identical output and "
+                            "demand-read sequences (all chaos profiles, or "
+                            "just the one named by --chaos)")
+    run_p.add_argument("--oracle-report", default=None, metavar="PATH",
+                       dest="oracle_report",
+                       help="write the oracle's JSON report to PATH")
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="compare all variants")
@@ -230,6 +300,12 @@ def build_parser() -> argparse.ArgumentParser:
     sw_p = sub.add_parser("sweep", help="regenerate a sweep experiment")
     sw_p.add_argument("kind", choices=("disks", "cache", "ratio"))
     sw_p.add_argument("--scale", type=float, default=1.0)
+    sw_p.add_argument("--checkpoint", default=None, metavar="PATH",
+                      help="checkpoint finished cells to PATH (atomic "
+                           "write-then-rename after every cell)")
+    sw_p.add_argument("--resume", action="store_true",
+                      help="restore completed cells from --checkpoint "
+                           "instead of re-running them")
     sw_p.set_defaults(func=cmd_sweep)
 
     pp_p = sub.add_parser("paper", help="print the paper's numbers")

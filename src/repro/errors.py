@@ -146,9 +146,36 @@ class UnsupportedBinary(SpecHintError):
     """
 
 
+class IsolationViolation(SpecHintError):
+    """The speculation isolation invariant was broken.
+
+    The paper's entire safety argument rests on one property: speculative
+    pre-execution can never alter the original thread's state.  The
+    isolation auditor enforces it — a speculative write that escapes the
+    COW containment map, a tampered audit table, or a restart-boundary
+    digest mismatch all raise this error.  The runtime responds by
+    quarantining speculation for the process (never by corrupting the
+    run): losing speculation costs performance, never correctness.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Harness
 # ---------------------------------------------------------------------------
 
 class HarnessError(ReproError):
     """Experiment configuration or bookkeeping error."""
+
+
+class OracleMismatch(HarnessError):
+    """The differential correctness oracle found a divergence.
+
+    A speculating run must be byte-identical in output and identical in
+    demand-read sequence to the spec-off run of the same workload and
+    seed, under every fault profile.  Any difference is a correctness
+    bug in the speculation machinery, not a tuning problem.
+    """
+
+
+class CheckpointError(HarnessError):
+    """A harness checkpoint file is missing, corrupt, or incompatible."""

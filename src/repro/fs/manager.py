@@ -199,6 +199,11 @@ class CacheManagerBase:
         Returns the number cancelled.  Already-issued prefetches proceed."""
         return 0
 
+    def outstanding_hints(self, pid: int) -> int:
+        """Hints still queued for ``pid``.  Hint-ignorant managers hold
+        none (the restart protocol's drain check relies on this)."""
+        return 0
+
     def on_block_arrived(self, key: BlockKey) -> None:
         """Called whenever any fetch completes (policy may react)."""
 

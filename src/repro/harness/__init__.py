@@ -5,6 +5,7 @@ Builds complete simulated systems (disks -> striping -> cache/TIP -> kernel
 and formats the paper's tables and figures from the collected statistics.
 """
 
+from repro.harness.checkpoint import SweepCheckpoint, atomic_write_json, run_cells
 from repro.harness.config import ExperimentConfig, Variant
 from repro.harness.experiments import (
     run_cache_size_sweep,
@@ -12,6 +13,14 @@ from repro.harness.experiments import (
     run_disk_sweep,
     run_matrix,
     run_one,
+    run_sweep_resumable,
+    sweep_cells,
+)
+from repro.harness.oracle import (
+    OracleCell,
+    OracleReport,
+    run_oracle,
+    run_oracle_cell,
 )
 from repro.harness.results import RunResult
 from repro.harness.runner import build_system, run_experiment
@@ -27,4 +36,13 @@ __all__ = [
     "run_disk_sweep",
     "run_cache_size_sweep",
     "run_cpu_ratio_sweep",
+    "run_sweep_resumable",
+    "sweep_cells",
+    "SweepCheckpoint",
+    "atomic_write_json",
+    "run_cells",
+    "OracleCell",
+    "OracleReport",
+    "run_oracle",
+    "run_oracle_cell",
 ]

@@ -1,0 +1,182 @@
+"""Crash-safe harness recovery.
+
+Long sweeps (every app x variant x sweep point) can be killed — by the
+machine, the batch scheduler, or an impatient operator — with most of the
+work already done.  This module makes that survivable:
+
+* every finished cell is appended to a JSON checkpoint file, written
+  atomically (write a temp file in the same directory, then ``os.replace``
+  it over the old checkpoint) so a crash mid-write never corrupts the
+  previous state;
+* a restarted sweep passed ``resume=True`` loads the checkpoint, skips
+  every completed cell, and recomputes only the missing ones — the
+  reassembled results are identical to an uninterrupted run because every
+  cell is seeded independently;
+* version and identity mismatches (a checkpoint from a different sweep or
+  an incompatible format) raise a typed
+  :class:`~repro.errors.CheckpointError` instead of silently mixing
+  incompatible results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import CheckpointError
+from repro.harness.results import RunResult
+
+#: Bump when the checkpoint layout changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+def atomic_write_json(path: str, obj: object) -> None:
+    """Write ``obj`` as JSON to ``path`` atomically.
+
+    The temp file lives in the target's directory so ``os.replace`` is a
+    same-filesystem rename: readers observe either the old complete file
+    or the new complete file, never a torn write.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(obj, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+class SweepCheckpoint:
+    """Checkpointed per-cell results of one sweep.
+
+    Cells are keyed by a caller-chosen string (e.g. ``"disks=4/agrep/
+    speculating"``).  The ``identity`` string names the sweep; resuming
+    against a checkpoint written by a different sweep is a typed error.
+    """
+
+    def __init__(self, path: str, identity: str) -> None:
+        self.path = path
+        self.identity = identity
+        self._cells: Dict[str, Dict[str, object]] = {}
+
+    # -- persistence ----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str, identity: str) -> "SweepCheckpoint":
+        """Load an existing checkpoint; typed errors on any corruption."""
+        checkpoint = cls(path, identity)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            raise CheckpointError(f"no checkpoint at {path!r} to resume from")
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path!r} is unreadable or corrupt: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise CheckpointError(f"checkpoint {path!r}: not a JSON object")
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path!r}: version {version!r} is not "
+                f"{CHECKPOINT_VERSION}"
+            )
+        stored_identity = data.get("identity")
+        if stored_identity != identity:
+            raise CheckpointError(
+                f"checkpoint {path!r} belongs to sweep {stored_identity!r}, "
+                f"not {identity!r}"
+            )
+        cells = data.get("cells")
+        if not isinstance(cells, dict):
+            raise CheckpointError(f"checkpoint {path!r}: no cell table")
+        checkpoint._cells = cells
+        return checkpoint
+
+    def flush(self) -> None:
+        """Persist the current state atomically."""
+        atomic_write_json(self.path, {
+            "version": CHECKPOINT_VERSION,
+            "identity": self.identity,
+            "cells": self._cells,
+        })
+
+    # -- cells -----------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def keys(self) -> List[str]:
+        return sorted(self._cells)
+
+    def record(self, key: str, result: RunResult) -> None:
+        """Store one finished cell and flush the checkpoint to disk."""
+        self._cells[key] = result.to_jsonable()
+        self.flush()
+
+    def result(self, key: str) -> RunResult:
+        try:
+            data = self._cells[key]
+        except KeyError:
+            raise CheckpointError(f"checkpoint has no cell {key!r}")
+        try:
+            return RunResult.from_jsonable(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint cell {key!r} is malformed: {exc}"
+            ) from exc
+
+
+def run_cells(
+    cells: List[Tuple[str, Callable[[], RunResult]]],
+    checkpoint_path: Optional[str] = None,
+    identity: str = "sweep",
+    resume: bool = False,
+    progress: Optional[Callable[[str, bool], None]] = None,
+) -> Dict[str, RunResult]:
+    """Run a list of (key, thunk) cells with optional checkpointing.
+
+    Without ``checkpoint_path`` this is a plain loop.  With it, each
+    finished cell is checkpointed atomically; with ``resume`` also set,
+    previously checkpointed cells are restored instead of re-run.
+    ``progress`` (if given) is called with ``(key, was_resumed)`` per cell.
+    """
+    checkpoint: Optional[SweepCheckpoint] = None
+    if checkpoint_path is not None:
+        if resume and os.path.exists(checkpoint_path):
+            checkpoint = SweepCheckpoint.load(checkpoint_path, identity)
+        else:
+            # Fresh start (also the resume path when no checkpoint exists
+            # yet: there is nothing to restore, so begin from scratch).
+            checkpoint = SweepCheckpoint(checkpoint_path, identity)
+            checkpoint.flush()
+
+    results: Dict[str, RunResult] = {}
+    for key, thunk in cells:
+        if checkpoint is not None and key in checkpoint:
+            results[key] = checkpoint.result(key)
+            if progress is not None:
+                progress(key, True)
+            continue
+        result = thunk()
+        results[key] = result
+        if checkpoint is not None:
+            checkpoint.record(key, result)
+        if progress is not None:
+            progress(key, False)
+    return results

@@ -1,0 +1,179 @@
+"""The differential correctness oracle.
+
+The paper's promise is that speculative pre-execution is *transparent*:
+a transformed application produces exactly the output of the original, and
+demands exactly the same data in the same order — hinting changes timing,
+never semantics.  This module turns the promise into an executable check:
+
+* run each application twice on the same seed — :class:`Variant.ORIGINAL`
+  (speculation off) and :class:`Variant.SPECULATING` (speculation on);
+* assert byte-identical program output;
+* assert identical demand-read sequences (the kernel's per-read
+  ``(ino, offset, length)`` trace);
+* repeat under every chaos profile, so the guarantee holds while disks
+  fail, hints are corrupted, and restart storms rage.
+
+A divergence raises (or, in collect mode, records) a typed
+:class:`~repro.errors.OracleMismatch` pinpointing the first differing
+element.  The CLI exposes this as ``run APP --oracle``; CI runs a smoke
+subset on every push.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import OracleMismatch
+from repro.faults.plan import PROFILES
+from repro.harness.config import ExperimentConfig, Variant
+from repro.harness.results import RunResult
+from repro.harness.runner import run_experiment
+from repro.params import SystemConfig
+
+#: Chaos profiles the full oracle sweeps (None = fault-free baseline).
+ORACLE_PROFILES: Tuple[Optional[str], ...] = (None,) + tuple(
+    name for name in sorted(PROFILES) if name != "none"
+)
+
+
+def _first_output_diff(a: bytes, b: bytes) -> str:
+    """Human description of the first differing output byte."""
+    limit = min(len(a), len(b))
+    for i in range(limit):
+        if a[i] != b[i]:
+            return (f"output byte {i}: original {a[i]:#04x} vs "
+                    f"speculating {b[i]:#04x}")
+    return f"output length: original {len(a)} vs speculating {len(b)} bytes"
+
+
+def _first_trace_diff(
+    a: Sequence[Tuple[int, int, int]], b: Sequence[Tuple[int, int, int]]
+) -> str:
+    """Human description of the first differing demand read."""
+    limit = min(len(a), len(b))
+    for i in range(limit):
+        if a[i] != b[i]:
+            return (f"demand read #{i}: original {a[i]} vs "
+                    f"speculating {b[i]}")
+    return (f"demand-read count: original {len(a)} vs "
+            f"speculating {len(b)} calls")
+
+
+@dataclass
+class OracleCell:
+    """Outcome of one (app, profile) differential comparison."""
+
+    app: str
+    profile: Optional[str]
+    passed: bool
+    detail: str = ""
+    original: Optional[RunResult] = None
+    speculating: Optional[RunResult] = None
+
+    @property
+    def profile_name(self) -> str:
+        return self.profile or "fault-free"
+
+    def to_jsonable(self) -> Dict[str, object]:
+        entry: Dict[str, object] = {
+            "app": self.app,
+            "profile": self.profile_name,
+            "passed": self.passed,
+            "detail": self.detail,
+        }
+        if self.speculating is not None:
+            entry["spec_restarts"] = self.speculating.spec_restarts
+            entry["spec_hints_issued"] = self.speculating.spec_hints_issued
+            entry["isolation_violations"] = self.speculating.isolation_violations
+            entry["watchdog_tripped"] = self.speculating.watchdog_tripped
+        return entry
+
+
+@dataclass
+class OracleReport:
+    """Every cell of one oracle invocation."""
+
+    cells: List[OracleCell] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(cell.passed for cell in self.cells)
+
+    def failures(self) -> List[OracleCell]:
+        return [cell for cell in self.cells if not cell.passed]
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "passed": self.passed,
+            "cells": [cell.to_jsonable() for cell in self.cells],
+        }
+
+    def summary(self) -> str:
+        ok = sum(1 for cell in self.cells if cell.passed)
+        verdict = "PASS" if self.passed else "FAIL"
+        return f"oracle: {verdict} ({ok}/{len(self.cells)} cells identical)"
+
+
+def run_oracle_cell(
+    app: str,
+    profile: Optional[str] = None,
+    workload_scale: float = 1.0,
+    fault_seed: int = 7,
+    system: Optional[SystemConfig] = None,
+) -> OracleCell:
+    """Differential run of one app under one chaos profile.
+
+    Both runs share the system seed and (when chaotic) the fault seed; the
+    only difference is whether the binary was transformed.  Returns the
+    cell; never raises — the caller decides whether a failure is fatal.
+    """
+    base = ExperimentConfig(
+        app=app,
+        system=system or SystemConfig(),
+        workload_scale=workload_scale,
+        fault_profile=profile,
+        fault_seed=fault_seed,
+    )
+    original = run_experiment(base.with_(variant=Variant.ORIGINAL))
+    speculating = run_experiment(base.with_(variant=Variant.SPECULATING))
+
+    cell = OracleCell(app=app, profile=profile, passed=True,
+                      original=original, speculating=speculating)
+    if speculating.output != original.output:
+        cell.passed = False
+        cell.detail = _first_output_diff(original.output, speculating.output)
+    elif speculating.read_trace != original.read_trace:
+        cell.passed = False
+        cell.detail = _first_trace_diff(original.read_trace,
+                                        speculating.read_trace)
+    return cell
+
+
+def run_oracle(
+    apps: Sequence[str],
+    profiles: Sequence[Optional[str]] = ORACLE_PROFILES,
+    workload_scale: float = 1.0,
+    fault_seed: int = 7,
+    system: Optional[SystemConfig] = None,
+    strict: bool = False,
+) -> OracleReport:
+    """Differential oracle over an app x chaos-profile grid.
+
+    With ``strict`` set, the first divergence raises
+    :class:`OracleMismatch`; otherwise every cell is collected into the
+    report for the caller to inspect.
+    """
+    report = OracleReport()
+    for app in apps:
+        for profile in profiles:
+            cell = run_oracle_cell(
+                app, profile, workload_scale=workload_scale,
+                fault_seed=fault_seed, system=system,
+            )
+            report.cells.append(cell)
+            if strict and not cell.passed:
+                raise OracleMismatch(
+                    f"{app} under {cell.profile_name}: {cell.detail}"
+                )
+    return report

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import base64
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 @dataclass
@@ -39,6 +40,18 @@ class RunResult:
     #: (None = fault-free) and the watchdog trip reason, if it tripped.
     fault_profile: Optional[str] = None
     watchdog_tripped: Optional[str] = None
+
+    #: Demand-read trace: (ino, offset, length) per original-thread read
+    #: call, in program order.  The differential oracle compares this
+    #: sequence across spec-on/off runs.
+    read_trace: Tuple[Tuple[int, int, int], ...] = ()
+
+    #: Isolation-audit outcome (speculating variant only).
+    isolation_violations: int = 0
+    quarantines: int = 0
+    quarantine_permanent: bool = False
+    audit_records: int = 0
+    audit_head_digest: str = ""
 
     # -- elapsed time ---------------------------------------------------------
 
@@ -153,7 +166,7 @@ class RunResult:
                       "array.faulted_attempts", "array.demand_failures",
                       "array.prefetches_dropped", "cache.prefetches_dropped",
                       "cache.fetch_failures", "tip.prefetches_dropped",
-                      "spec.watchdog")
+                      "spec.watchdog", "spec.isolation", "spec.quarantine")
 
     def fault_events(self) -> Dict[str, int]:
         """Every fault / retry / degradation counter the run recorded.
@@ -203,6 +216,78 @@ class RunResult:
             f"{self.read_calls} reads ({self.pct_calls_hinted:.1f}% hinted), "
             f"{self.prefetched_blocks} prefetched blocks"
         )
+
+    # -- checkpoint serialization -------------------------------------------
+
+    def to_jsonable(self) -> Dict[str, object]:
+        """JSON-safe dict for harness checkpoints.
+
+        The transform report is deliberately excluded (it is derivable by
+        re-running the transform and is not needed to resume a sweep).
+        """
+        return {
+            "app": self.app,
+            "variant": self.variant,
+            "cycles": self.cycles,
+            "cpu_hz": self.cpu_hz,
+            "counters": dict(self.counters),
+            "output_b64": base64.b64encode(self.output).decode("ascii"),
+            "median_read_interval": self.median_read_interval,
+            "median_hint_interval": self.median_hint_interval,
+            "spec_restarts": self.spec_restarts,
+            "spec_signals": self.spec_signals,
+            "spec_cancel_calls": self.spec_cancel_calls,
+            "spec_hints_issued": self.spec_hints_issued,
+            "spec_parks": dict(self.spec_parks),
+            "footprint_bytes": self.footprint_bytes,
+            "page_reclaims": self.page_reclaims,
+            "page_faults": self.page_faults,
+            "fault_profile": self.fault_profile,
+            "watchdog_tripped": self.watchdog_tripped,
+            "read_trace": [list(entry) for entry in self.read_trace],
+            "isolation_violations": self.isolation_violations,
+            "quarantines": self.quarantines,
+            "quarantine_permanent": self.quarantine_permanent,
+            "audit_records": self.audit_records,
+            "audit_head_digest": self.audit_head_digest,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, object]) -> "RunResult":
+        """Rebuild a result from :meth:`to_jsonable` output."""
+        result = cls(
+            app=str(data["app"]),
+            variant=str(data["variant"]),
+            cycles=int(data["cycles"]),  # type: ignore[arg-type]
+            cpu_hz=int(data["cpu_hz"]),  # type: ignore[arg-type]
+            counters={str(k): int(v) for k, v in dict(data["counters"]).items()},  # type: ignore[call-overload]
+            output=base64.b64decode(str(data["output_b64"])),
+        )
+        result.median_read_interval = float(data.get("median_read_interval", 0.0))  # type: ignore[arg-type]
+        result.median_hint_interval = float(data.get("median_hint_interval", 0.0))  # type: ignore[arg-type]
+        result.spec_restarts = int(data.get("spec_restarts", 0))  # type: ignore[arg-type]
+        result.spec_signals = int(data.get("spec_signals", 0))  # type: ignore[arg-type]
+        result.spec_cancel_calls = int(data.get("spec_cancel_calls", 0))  # type: ignore[arg-type]
+        result.spec_hints_issued = int(data.get("spec_hints_issued", 0))  # type: ignore[arg-type]
+        result.spec_parks = {
+            str(k): int(v) for k, v in dict(data.get("spec_parks", {})).items()  # type: ignore[call-overload]
+        }
+        result.footprint_bytes = int(data.get("footprint_bytes", 0))  # type: ignore[arg-type]
+        result.page_reclaims = int(data.get("page_reclaims", 0))  # type: ignore[arg-type]
+        result.page_faults = int(data.get("page_faults", 0))  # type: ignore[arg-type]
+        fault_profile = data.get("fault_profile")
+        result.fault_profile = str(fault_profile) if fault_profile is not None else None
+        tripped = data.get("watchdog_tripped")
+        result.watchdog_tripped = str(tripped) if tripped is not None else None
+        result.read_trace = tuple(
+            tuple(int(x) for x in entry) for entry in data.get("read_trace", [])  # type: ignore[union-attr, arg-type]
+        )
+        result.isolation_violations = int(data.get("isolation_violations", 0))  # type: ignore[arg-type]
+        result.quarantines = int(data.get("quarantines", 0))  # type: ignore[arg-type]
+        result.quarantine_permanent = bool(data.get("quarantine_permanent", False))
+        result.audit_records = int(data.get("audit_records", 0))  # type: ignore[arg-type]
+        result.audit_head_digest = str(data.get("audit_head_digest", ""))
+        return result
 
 
 def median_interval(times: List[float]) -> float:

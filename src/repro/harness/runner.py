@@ -139,6 +139,7 @@ def run_experiment(cfg: ExperimentConfig) -> RunResult:
         page_faults=process.vmstat.faults,
     )
     result.fault_profile = cfg.fault_profile
+    result.read_trace = tuple(process.read_trace)
     if process.spec is not None:
         result.spec_restarts = process.spec.restarts
         result.spec_signals = process.spec.signals
@@ -146,4 +147,10 @@ def run_experiment(cfg: ExperimentConfig) -> RunResult:
         result.spec_hints_issued = process.spec.hints_issued
         result.spec_parks = dict(process.spec.parks)
         result.watchdog_tripped = process.spec.watchdog.trip_reason
+        result.isolation_violations = process.spec.isolation_violations
+        result.quarantines = process.spec.quarantine_state.violations
+        result.quarantine_permanent = process.spec.quarantine_state.permanent
+        if process.spec.auditor is not None:
+            result.audit_records = process.spec.auditor.table.records_total
+            result.audit_head_digest = process.spec.auditor.table.head_digest
     return result

@@ -272,11 +272,17 @@ class Kernel:
         fdstate = proc.fd(fd_num)
         inode = fdstate.inode
         if inode is None:
+            if not thread.is_spec:
+                proc.read_trace.append((-1, 0, length))
             thread.regs[V0] = 0
             thread.pc += 1
             return cost
 
         offset = fdstate.offset
+        # Demand-read trace (zero cycles, original thread only): the
+        # differential oracle compares this sequence across spec-on/off.
+        if not thread.is_spec:
+            proc.read_trace.append((inode.ino, offset, length))
         n = min(length, max(0, inode.size - offset))
         if n <= 0:
             thread.regs[V0] = 0

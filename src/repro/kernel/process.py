@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import BadFileDescriptor
 from repro.fs.filesystem import Inode
@@ -70,6 +70,12 @@ class Process:
         #: Bytes the program wrote to stdout/stderr (observable output,
         #: used by correctness tests: transformed == original).
         self.output = bytearray()
+        #: Demand-read trace: (ino, offset, length) per original-thread
+        #: read call, in program order.  The differential oracle asserts
+        #: this sequence is identical with speculation on and off —
+        #: hinting may only change *timing*, never *which* data the
+        #: application demands.
+        self.read_trace: List[Tuple[int, int, int]] = []
 
         # Footprint: the loader maps the executable image (no demand
         # faults counted) plus the initialized data segment.

@@ -280,6 +280,25 @@ class SpecHintParams:
     #: Number of recent hint-log checks in the accuracy window.
     watchdog_accuracy_window: int = 256
 
+    # -- isolation auditor (see repro.spechint.auditor) ---------------------
+
+    #: Enable the isolation auditor: COW containment checks, the
+    #: tamper-evident audit table of suppressed syscalls, and the
+    #: restart-boundary digest of non-shadow state.
+    isolation_audit: bool = True
+
+    #: Retained audit records; older records fold into the chain anchor
+    #: (the hash chain stays verifiable end to end).
+    audit_table_capacity: int = 1024
+
+    #: Quarantine length, in original-thread read calls, after the first
+    #: isolation violation; doubles with each further violation.
+    quarantine_base_reads: int = 64
+
+    #: Violations after which the quarantine becomes permanent for the
+    #: rest of the run (generalizes the watchdog's one-way disable).
+    quarantine_max_violations: int = 3
+
 
 @dataclass(frozen=True)
 class SystemConfig:

@@ -15,9 +15,18 @@ SpecVM substrate:
   reads and hint issue, user-space emulation of open/close/lseek against a
   speculative fd table, the restart protocol, signal handling, and the
   Section 5 cancel-based throttle;
-* :mod:`repro.spechint.report` — transformation statistics.
+* :mod:`repro.spechint.report` — transformation statistics;
+* :mod:`repro.spechint.auditor` — the isolation auditor: write-containment
+  guard, tamper-evident audit table, restart-boundary digests, and the
+  bounded quarantine imposed on violations.
 """
 
+from repro.spechint.auditor import (
+    AuditRecord,
+    AuditTable,
+    IsolationAuditor,
+    IsolationQuarantine,
+)
 from repro.spechint.cow import CowMap
 from repro.spechint.hintlog import HintLog, HintLogEntry
 from repro.spechint.report import TransformReport
@@ -26,6 +35,10 @@ from repro.spechint.throttle import SpeculationThrottle
 from repro.spechint.tool import SpecHintTool, SpecMeta, SpeculatingBinary
 
 __all__ = [
+    "AuditRecord",
+    "AuditTable",
+    "IsolationAuditor",
+    "IsolationQuarantine",
     "CowMap",
     "HintLog",
     "HintLogEntry",

@@ -21,12 +21,15 @@ a simulated signal (speculation halts until the next restart).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.kernel.vmstat import PageAccounting
 from repro.params import PAGE_SIZE, SpecHintParams
 from repro.vm.machine import SpeculationFault
 from repro.vm.memory import MASK64, AddressSpace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.spechint.auditor import IsolationAuditor
 
 #: Synthetic page-number base for COW copies in footprint accounting.
 _COW_PAGE_BASE = 1 << 42
@@ -40,6 +43,7 @@ class CowMap:
         mem: AddressSpace,
         params: SpecHintParams,
         vmstat: Optional[PageAccounting] = None,
+        auditor: Optional["IsolationAuditor"] = None,
     ) -> None:
         self.mem = mem
         self.region_size = params.cow_region_size
@@ -47,6 +51,9 @@ class CowMap:
             1, int(params.cow_region_size * params.cow_copy_cycles_per_byte)
         )
         self.vmstat = vmstat
+        #: Isolation auditor: checks every write against the containment
+        #: map (observation only; never alters behaviour of correct code).
+        self.auditor = auditor
         self._copies: Dict[int, bytearray] = {}
         #: Lifetime counters (across clears).
         self.regions_copied_total = 0
@@ -137,6 +144,8 @@ class CowMap:
             cursor += chunk
             index += chunk
             remaining -= chunk
+        if self.auditor is not None:
+            self.auditor.check_cow_containment(self, addr, len(payload))
         return extra
 
     # -- word/byte interface (machine COW_* handlers) ------------------------------
@@ -156,22 +165,53 @@ class CowMap:
     # -- bulk interface (SpecHint runtime) -------------------------------------------
 
     def read_bytes(self, addr: int, length: int) -> bytes:
-        """Speculation-visible bytes (used for path strings and the like)."""
+        """Speculation-visible bytes (used for path strings and the like).
+
+        Zero- and negative-length ranges raise the typed fault instead of
+        silently returning nothing: a degenerate range is always a bug in
+        the shadow code, and silent truncation would let speculation run
+        on with garbage.
+        """
+        if length <= 0:
+            raise SpeculationFault(
+                f"zero-length speculative read at {addr:#x} (length {length})"
+            )
         return self._read(addr, length)
 
     def write_bytes(self, addr: int, payload: bytes) -> int:
         """Bulk speculative write (e.g. cached read data into a buffer);
         returns first-copy cycle costs."""
+        if not payload:
+            raise SpeculationFault(
+                f"zero-length speculative write at {addr:#x}"
+            )
         return self._write(addr, payload)
 
     def read_cstring(self, addr: int, max_len: int = 4096) -> bytes:
-        """NUL-terminated string as speculation sees it."""
+        """NUL-terminated string as speculation sees it.
+
+        The scan never leaves the mapped segment containing ``addr``: a
+        string that would cross the segment (shadow-region) boundary
+        raises the typed fault explicitly rather than relying on per-byte
+        validity of whatever lies beyond.
+        """
+        seg_end = self.mem.segment_end(addr)
+        if seg_end is None:
+            raise SpeculationFault(
+                f"speculative string at unmapped address {addr:#x}"
+            )
+        limit = min(max_len, seg_end - addr)
         out = bytearray()
-        for i in range(max_len):
+        for i in range(limit):
             byte = self.load_byte(addr + i)
             if byte == 0:
                 return bytes(out)
             out.append(byte)
+        if limit < max_len:
+            raise SpeculationFault(
+                f"speculative string at {addr:#x} crosses the region "
+                f"boundary at {seg_end:#x}"
+            )
         raise SpeculationFault(f"unterminated speculative string at {addr:#x}")
 
     def precopy_range(self, addr: int, length: int) -> int:
@@ -180,10 +220,14 @@ class CowMap:
         Used for the restart-time stack copy: the speculating thread works
         on a private copy of the original thread's stack, which also lets
         stack-relative accesses skip COW checks (paper footnote 3).
-        Returns the number of bytes copied.
+        Returns the number of bytes copied.  Zero- and negative-length
+        ranges raise the typed fault (callers must skip empty copies
+        explicitly; a silent no-op here masked bad restart arithmetic).
         """
         if length <= 0:
-            return 0
+            raise SpeculationFault(
+                f"degenerate precopy range [{addr:#x}+{length}]"
+            )
         self._check(addr, length)
         size = self.region_size
         first = addr // size

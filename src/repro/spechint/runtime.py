@@ -36,9 +36,11 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional
 
+from repro.errors import IsolationViolation
 from repro.faults.watchdog import SpeculationWatchdog
 from repro.fs.filesystem import Inode
 from repro.params import BLOCK_SIZE
+from repro.spechint.auditor import IsolationAuditor, IsolationQuarantine
 from repro.spechint.cow import CowMap
 from repro.spechint.hintlog import HintLog
 from repro.spechint.throttle import SpeculationThrottle
@@ -112,7 +114,21 @@ class SpecProcessState:
         self.meta = meta
         self.params = meta.params
 
-        self.cow = CowMap(process.mem, meta.params, vmstat=process.vmstat)
+        #: Isolation auditor + quarantine (the speculation safety net).
+        #: The auditor observes; the quarantine is the graded response.
+        self.auditor: Optional[IsolationAuditor] = None
+        if meta.params.isolation_audit:
+            self.auditor = IsolationAuditor(
+                process, capacity=meta.params.audit_table_capacity
+            )
+        self.quarantine_state = IsolationQuarantine(
+            base_reads=meta.params.quarantine_base_reads,
+            max_violations=meta.params.quarantine_max_violations,
+        )
+        self.isolation_violations = 0
+
+        self.cow = CowMap(process.mem, meta.params, vmstat=process.vmstat,
+                          auditor=self.auditor)
         self.hint_log = HintLog()
         self.throttle = SpeculationThrottle(
             meta.params.throttle_cancel_limit, meta.params.throttle_disable_reads
@@ -161,6 +177,18 @@ class SpecProcessState:
         if self.watchdog.disabled:
             return cost  # vanilla execution for the rest of the run
 
+        if self.quarantine_state.active:
+            # Bounded-restart quarantine: speculation stays benched for a
+            # window of reads after an isolation violation (forever, when
+            # the violation persisted).  The original thread runs vanilla.
+            if not self.quarantine_state.tick_read():
+                return cost
+            # This read released the quarantine: resume the normal path —
+            # the stale hint log will mismatch and request a restart.
+            self.kernel.stats.counter("spec.quarantine_released").add()
+            if self.auditor is not None:
+                self.auditor.table.record("quarantine_released")
+
         fdstate = process.fds.get(fd_num)
         ino = fdstate.inode.ino if fdstate is not None and fdstate.inode else -1
         offset = fdstate.offset if fdstate is not None else 0
@@ -176,11 +204,13 @@ class SpecProcessState:
             self._disable_speculation()
             return cost
         if matched:
+            self._capture_boundary()
             return cost  # speculation may still be on track
 
         # Off track (strayed or behind): request a restart.
         if not self.throttle.allow_restart():
             self.kernel.stats.counter("spec.throttle_suppressed").add()
+            self._capture_boundary()
             return cost
 
         cost += cpu.restart_request_cycles
@@ -194,13 +224,22 @@ class SpecProcessState:
             self._saved_read_n = 0
         self.restart_flag = True
         self.kernel.stats.counter("spec.restart_requests").add()
+        self._capture_boundary()
         self._wake_spec_thread()
         return cost
+
+    def _capture_boundary(self) -> None:
+        """Snapshot the restart-boundary digests at this read call.  The
+        last capture before a restart is the blocking read itself, so the
+        speculating thread verifies against exactly the state the original
+        thread stalled with."""
+        if self.auditor is not None:
+            self.auditor.capture_boundary(self._saved_regs)
 
     def _wake_spec_thread(self) -> None:
         from repro.kernel.thread import ThreadState
 
-        if self.watchdog.disabled:
+        if self.watchdog.disabled or self.quarantine_state.active:
             return
         thread = self.thread
         if thread.state is ThreadState.SPEC_IDLE:
@@ -222,9 +261,20 @@ class SpecProcessState:
         self.restart_flag = False
         if self.watchdog.disabled:
             return self.park(thread, "watchdog_disabled")
+        if self.quarantine_state.active:
+            return self.park(thread, "quarantined")
         if self.watchdog.note_restart():
             self._disable_speculation()
             return self.park(thread, "watchdog_disabled")
+
+        # Isolation audit, *before* any saved state is consumed: the audit
+        # chain must verify and the non-shadow state (fd bindings, heap
+        # break, saved registers) must be exactly what the original thread
+        # captured.  A violation raises and quarantines (see the machine's
+        # IsolationViolation handler) without touching the original thread.
+        if self.auditor is not None:
+            self.auditor.verify_restart_boundary(self._saved_regs)
+
         self.restarts += 1
         self.kernel.stats.counter("spec.restarts").add()
 
@@ -233,6 +283,19 @@ class SpecProcessState:
         self.cancel_calls += 1
         self.kernel.stats.counter("spec.cancel_calls").add()
         self.throttle.note_cancel(cancelled)
+
+        # The restart's safety depends on the cancel having drained the
+        # hint queue: a leaked hint would keep prefetching down the
+        # abandoned path while the log restarts from scratch.
+        outstanding = self.kernel.manager.outstanding_hints(self.process.pid)
+        if outstanding:
+            raise IsolationViolation(
+                f"TIPIO_CANCEL_ALL left {outstanding} hint(s) outstanding "
+                f"before restart"
+            )
+        self.kernel.stats.counter("spec.cancel_drain_verified").add()
+        if self.auditor is not None:
+            self.auditor.table.record("restart", f"cancelled={cancelled}")
 
         self.cow.clear()
         self.hint_log.reset()
@@ -266,7 +329,9 @@ class SpecProcessState:
         sp = thread.regs[SP]
         stack_bytes = 0
         mem = self.process.mem
-        if mem.stack_limit <= sp <= mem.stack_top:
+        if mem.stack_limit <= sp < mem.stack_top:
+            # (sp == stack_top means an empty stack: nothing to copy, and
+            # precopy_range rejects degenerate ranges by design.)
             stack_bytes = self.cow.precopy_range(sp, mem.stack_top - sp)
 
         cost = self.params.restart_fixed_cycles + int(
@@ -403,10 +468,15 @@ class SpecProcessState:
             return cpu.syscall_cycles
 
         if num == SYS_WRITE:
-            # Suppressed: pretend success, produce no side effect.
+            # Suppressed: pretend success, produce no side effect.  The
+            # suppression itself is a recorded, auditable event.
             regs[V0] = regs[A2]
             thread.pc += 1
             self.kernel.stats.counter("spec.writes_suppressed").add()
+            if self.auditor is not None:
+                self.auditor.table.record(
+                    "write_suppressed", f"fd={regs[A0]} len={regs[A2]}"
+                )
             return 4
 
         if num in (SYS_HINT_SEG, SYS_HINT_FD_SEG, SYS_CANCEL_ALL):
@@ -418,6 +488,8 @@ class SpecProcessState:
 
         # Any other system call would be an externally visible side effect.
         self.kernel.stats.counter("spec.syscalls_blocked").add()
+        if self.auditor is not None:
+            self.auditor.table.record("syscall_blocked", f"num={num}")
         return self.park(thread, "forbidden_syscall")
 
     # -------------------------------------------------------- control transfers
@@ -441,6 +513,33 @@ class SpecProcessState:
         if meta.map_all_addresses and 0 <= target < meta.original_text_len:
             return meta.to_shadow(target)
         return None
+
+    # ------------------------------------------------------- isolation response
+
+    def quarantine(self, thread: "Thread", violation: IsolationViolation) -> int:
+        """Graded response to an isolation violation.
+
+        Speculation is benched for an exponentially growing window of
+        original-thread reads (permanent after repeat offences), its
+        outstanding hints are cancelled, and the speculating thread parks.
+        The original thread and its memory are never touched — the run
+        continues with baseline correctness, minus hinting.
+        """
+        self.isolation_violations += 1
+        self.kernel.stats.counter("spec.isolation_violations").add()
+        self.restart_flag = False
+        self.quarantine_state.impose(str(violation))
+        self.kernel.stats.counter("spec.quarantines").add()
+        if self.quarantine_state.permanent:
+            self.kernel.stats.counter("spec.quarantine_permanent").add()
+        if self.auditor is not None:
+            self.auditor.table.record("quarantine", str(violation))
+        cancelled = self.kernel.manager.cancel_all(self.process.pid)
+        if cancelled:
+            self.kernel.stats.counter("spec.quarantine_hints_cancelled").add(
+                cancelled
+            )
+        return self.park(thread, "isolation_quarantine")
 
     # ------------------------------------------------------------ park / signals
 

@@ -80,6 +80,9 @@ class TipManager(CacheManagerBase):
         self.params = params
         self._procs: Dict[int, _ProcessHints] = {}
         self._next_seq = 0
+        #: Lifetime count of hints dropped by TIPIO_CANCEL_ALL (the restart
+        #: protocol's drain check reads this to prove the cancel worked).
+        self.cancelled_total = 0
         #: Blocks whose hint was already consumed: later reads of the same
         #: block (segments often span several short reads) still count as
         #: hinted without consuming fresh queue entries.
@@ -131,7 +134,13 @@ class TipManager(CacheManagerBase):
             self._forget_seq(entry.key, entry.seq)
         state.queue.clear()
         state.accuracy.observe_cancelled(cancelled)
+        self.cancelled_total += cancelled
         self.stats.counter("tip.hints_cancelled").add(cancelled)
+        # Post-condition of TIPIO_CANCEL_ALL: the queue is drained.  The
+        # restart protocol restarts speculation on the strength of this —
+        # a leaked hint would let a cancelled prediction keep prefetching.
+        assert not state.queue, f"cancel_all leaked {len(state.queue)} hints"
+        self.stats.counter("tip.cancel_drained").add()
         return cancelled
 
     # -- read-path matching -----------------------------------------------------

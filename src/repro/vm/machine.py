@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, List, Optional
 
-from repro.errors import ArithmeticFault, MachineFault
+from repro.errors import ArithmeticFault, IsolationViolation, MachineFault
 from repro.sim.clock import SimClock
 from repro.sim.engine import EventEngine
 from repro.vm.isa import (
@@ -83,11 +83,26 @@ class Machine:
         budget exhausted), ``"blocked"``, ``"exited"``, ``"spec_idle"``
         (speculation parked).
         """
+        spec = thread.process.spec
+        guard_armed = False
+        if thread.is_spec and spec is not None and spec.auditor is not None:
+            # Write containment: while the speculating thread holds the CPU,
+            # every main-memory mutation is checked by the auditor.
+            spec.auditor.arm(thread.process.mem)
+            guard_armed = True
         try:
             return self._run_inner(thread, budget, until)
         except SpeculationFault:
             self._spec_signal(thread)
             return "spec_idle"
+        except IsolationViolation as exc:
+            if thread.is_spec and spec is not None:
+                spec.quarantine(thread, exc)
+                return "spec_idle"
+            raise
+        finally:
+            if guard_armed:
+                spec.auditor.disarm(thread.process.mem)
 
     def _run_inner(
         self, thread: "Thread", budget: Optional[int], until: Optional[int] = None

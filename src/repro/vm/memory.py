@@ -17,6 +17,8 @@ addresses that range.
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 from repro.errors import IllegalAddress
 
 DATA_BASE = 0x0001_0000
@@ -47,6 +49,16 @@ class AddressSpace:
         #: Speculative-heap break (used by the SpecHint runtime's allocator).
         self.spec_brk = SPEC_HEAP_BASE
 
+        #: Isolation write guard: when armed (speculating thread on CPU),
+        #: every mutation of main memory is reported *before* it lands so
+        #: the auditor can veto writes that escape COW containment.
+        self.write_guard: Optional[Callable[[int, int], None]] = None
+
+    def _guarded(self, addr: int, length: int) -> None:
+        guard = self.write_guard
+        if guard is not None:
+            guard(addr, length)
+
     # -- validity ---------------------------------------------------------------
 
     def check_range(self, addr: int, length: int) -> None:
@@ -69,6 +81,21 @@ class AddressSpace:
         except IllegalAddress:
             return False
         return True
+
+    def segment_end(self, addr: int) -> Optional[int]:
+        """Exclusive end of the mapped segment containing ``addr``.
+
+        Returns None for unmapped addresses.  Used to detect ranges that
+        would cross a segment boundary (e.g. a speculative string scan
+        running off the end of the heap into the guard gap).
+        """
+        if self.data_start <= addr < self.brk:
+            return self.brk
+        if self.stack_limit <= addr < self.stack_top:
+            return self.stack_top
+        if SPEC_HEAP_BASE <= addr < self.spec_brk:
+            return self.spec_brk
+        return None
 
     # -- sbrk --------------------------------------------------------------------
 
@@ -97,6 +124,7 @@ class AddressSpace:
         return int.from_bytes(self._mem[addr:addr + 8], "little")
 
     def store_word(self, addr: int, value: int) -> None:
+        self._guarded(addr, 8)
         self.check_range(addr, 8)
         self._mem[addr:addr + 8] = (value & MASK64).to_bytes(8, "little")
 
@@ -105,6 +133,7 @@ class AddressSpace:
         return self._mem[addr]
 
     def store_byte(self, addr: int, value: int) -> None:
+        self._guarded(addr, 1)
         self.check_range(addr, 1)
         self._mem[addr] = value & 0xFF
 
@@ -113,6 +142,7 @@ class AddressSpace:
         return bytes(self._mem[addr:addr + length])
 
     def write_bytes(self, addr: int, payload: bytes) -> None:
+        self._guarded(addr, len(payload))
         self.check_range(addr, len(payload))
         self._mem[addr:addr + len(payload)] = payload
 
@@ -135,4 +165,5 @@ class AddressSpace:
         return bytes(self._mem[addr:addr + length])
 
     def raw_write(self, addr: int, payload: bytes) -> None:
+        self._guarded(addr, len(payload))
         self._mem[addr:addr + len(payload)] = payload

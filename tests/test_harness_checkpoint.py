@@ -1,0 +1,208 @@
+"""Tests for crash-safe harness checkpointing and resume."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.harness.checkpoint import (
+    CHECKPOINT_VERSION,
+    SweepCheckpoint,
+    atomic_write_json,
+    run_cells,
+)
+from repro.harness.experiments import SWEEP_POINTS, sweep_cells
+from repro.harness.results import RunResult
+
+
+def make_result(key: str, cycles: int = 1000) -> RunResult:
+    return RunResult(
+        app="agrep", variant="speculating", cycles=cycles, cpu_hz=500_000_000,
+        counters={"app.read_calls": 7, "spec.restarts": 2},
+        output=f"output of {key}".encode(),
+        read_trace=((1, 0, 100), (1, 100, 100)),
+    )
+
+
+class TestAtomicWrite:
+    def test_writes_valid_json(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"a": 1})
+        with open(path) as handle:
+            assert json.load(handle) == {"a": 1}
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"v": 1})
+        atomic_write_json(path, {"v": 2})
+        with open(path) as handle:
+            assert json.load(handle) == {"v": 2}
+
+    def test_no_temp_litter_on_success(self, tmp_path):
+        atomic_write_json(str(tmp_path / "out.json"), [1, 2, 3])
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["out.json"]
+
+
+class TestRunResultRoundtrip:
+    def test_roundtrip_preserves_fields(self):
+        original = make_result("cell-a")
+        original.spec_parks = {"spec_exit": 1}
+        original.fault_profile = "transient-errors"
+        original.watchdog_tripped = "restart_storm"
+        original.isolation_violations = 2
+        original.quarantines = 1
+        original.audit_head_digest = "abc123"
+        restored = RunResult.from_jsonable(original.to_jsonable())
+        assert restored.app == original.app
+        assert restored.cycles == original.cycles
+        assert restored.counters == original.counters
+        assert restored.output == original.output
+        assert restored.read_trace == original.read_trace
+        assert restored.spec_parks == original.spec_parks
+        assert restored.fault_profile == original.fault_profile
+        assert restored.watchdog_tripped == original.watchdog_tripped
+        assert restored.isolation_violations == 2
+        assert restored.quarantines == 1
+        assert restored.audit_head_digest == "abc123"
+
+    def test_jsonable_is_json_serializable(self):
+        blob = json.dumps(make_result("x").to_jsonable())
+        assert "output_b64" in blob
+
+
+class TestSweepCheckpoint:
+    def test_record_and_reload(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        checkpoint = SweepCheckpoint(path, "sweep:test")
+        checkpoint.record("cell-a", make_result("cell-a"))
+        checkpoint.record("cell-b", make_result("cell-b", cycles=2000))
+
+        reloaded = SweepCheckpoint.load(path, "sweep:test")
+        assert len(reloaded) == 2
+        assert reloaded.keys() == ["cell-a", "cell-b"]
+        assert reloaded.result("cell-b").cycles == 2000
+
+    def test_missing_file_is_typed_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            SweepCheckpoint.load(str(tmp_path / "absent.json"), "x")
+
+    def test_corrupt_json_is_typed_error(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("{ not json")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            SweepCheckpoint.load(str(path), "x")
+
+    def test_wrong_version_is_typed_error(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({
+            "version": CHECKPOINT_VERSION + 1, "identity": "x", "cells": {},
+        }))
+        with pytest.raises(CheckpointError, match="version"):
+            SweepCheckpoint.load(str(path), "x")
+
+    def test_wrong_identity_is_typed_error(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        SweepCheckpoint(path, "sweep:disks").flush()
+        with pytest.raises(CheckpointError, match="belongs to sweep"):
+            SweepCheckpoint.load(path, "sweep:cache")
+
+    def test_missing_cell_is_typed_error(self, tmp_path):
+        checkpoint = SweepCheckpoint(str(tmp_path / "c.json"), "x")
+        with pytest.raises(CheckpointError, match="no cell"):
+            checkpoint.result("absent")
+
+
+class _Killed(Exception):
+    """Simulated harness kill mid-sweep."""
+
+
+class TestRunCells:
+    def _cells(self, log):
+        def thunk(key):
+            def run():
+                log.append(key)
+                return make_result(key, cycles=100 * (len(log)))
+            return run
+        return [(f"cell-{i}", thunk(f"cell-{i}")) for i in range(4)]
+
+    def test_plain_run_without_checkpoint(self):
+        log = []
+        results = run_cells(self._cells(log))
+        assert len(results) == 4
+        assert log == [f"cell-{i}" for i in range(4)]
+
+    def test_killed_sweep_resumes_identically(self, tmp_path):
+        """Kill the sweep after two cells; the resumed sweep must restore
+        them from the checkpoint and produce results identical to an
+        uninterrupted run."""
+        path = str(tmp_path / "ckpt.json")
+
+        # Uninterrupted reference (deterministic thunks).
+        reference = run_cells(self._cells([]))
+
+        # First attempt: the third thunk kills the harness.
+        killed_log = []
+        cells = self._cells(killed_log)
+        key, original_thunk = cells[2]
+
+        def dying():
+            raise _Killed()
+
+        cells[2] = (key, dying)
+        with pytest.raises(_Killed):
+            run_cells(cells, checkpoint_path=path, identity="t")
+        assert killed_log == ["cell-0", "cell-1"]
+
+        # Resume: completed cells restored, only the rest re-run.
+        resumed_log = []
+        results = run_cells(
+            self._cells(resumed_log), checkpoint_path=path,
+            identity="t", resume=True,
+        )
+        assert resumed_log == ["cell-2", "cell-3"]  # only missing cells ran
+        assert results.keys() == reference.keys()
+        for cell_key in reference:
+            assert results[cell_key].output == reference[cell_key].output
+            assert results[cell_key].read_trace == reference[cell_key].read_trace
+            assert results[cell_key].counters == reference[cell_key].counters
+
+    def test_resume_without_checkpoint_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "new.json")
+        log = []
+        results = run_cells(self._cells(log), checkpoint_path=path,
+                            identity="t", resume=True)
+        assert len(results) == 4
+        assert len(log) == 4
+        assert os.path.exists(path)
+
+    def test_identity_mismatch_refuses_resume(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        run_cells(self._cells([]), checkpoint_path=path, identity="sweep-a")
+        with pytest.raises(CheckpointError, match="belongs to sweep"):
+            run_cells(self._cells([]), checkpoint_path=path,
+                      identity="sweep-b", resume=True)
+
+    def test_progress_callback_reports_resumed_cells(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        run_cells(self._cells([])[:2], checkpoint_path=path, identity="t")
+        seen = []
+        run_cells(self._cells([]), checkpoint_path=path, identity="t",
+                  resume=True, progress=lambda k, r: seen.append((k, r)))
+        assert seen[0] == ("cell-0", True)
+        assert seen[2] == ("cell-2", False)
+
+
+class TestSweepCells:
+    def test_cell_grid_shapes(self):
+        from repro.harness.config import APPS, Variant
+
+        for kind, points in SWEEP_POINTS.items():
+            cells = sweep_cells(kind, workload_scale=0.2)
+            assert len(cells) == len(points) * len(APPS) * len(tuple(Variant))
+            keys = [key for key, _ in cells]
+            assert len(set(keys)) == len(keys)  # unique keys
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep kind"):
+            sweep_cells("nope")

@@ -1,0 +1,141 @@
+"""Tests for the differential correctness oracle."""
+
+import pytest
+
+from repro.errors import OracleMismatch
+from repro.harness import oracle as oracle_mod
+from repro.harness.config import Variant
+from repro.harness.oracle import (
+    ORACLE_PROFILES,
+    OracleCell,
+    OracleReport,
+    _first_output_diff,
+    _first_trace_diff,
+    run_oracle,
+    run_oracle_cell,
+)
+from repro.harness.results import RunResult
+
+SCALE = 0.3
+
+
+class TestDiffDescriptions:
+    def test_first_output_byte_diff(self):
+        msg = _first_output_diff(b"abc", b"abd")
+        assert "byte 2" in msg
+
+    def test_output_length_diff(self):
+        msg = _first_output_diff(b"abc", b"abcd")
+        assert "length" in msg
+
+    def test_first_trace_diff(self):
+        msg = _first_trace_diff([(1, 0, 10), (1, 10, 10)],
+                                [(1, 0, 10), (2, 10, 10)])
+        assert "read #1" in msg
+
+    def test_trace_count_diff(self):
+        msg = _first_trace_diff([(1, 0, 10)], [(1, 0, 10), (1, 10, 10)])
+        assert "count" in msg
+
+
+class TestProfiles:
+    def test_oracle_profiles_cover_all_chaos_modes(self):
+        from repro.faults.plan import PROFILES
+
+        assert None in ORACLE_PROFILES  # fault-free baseline included
+        named = {p for p in ORACLE_PROFILES if p is not None}
+        assert named == {name for name in PROFILES if name != "none"}
+
+
+class TestOracleCell:
+    def test_fault_free_cell_passes(self):
+        cell = run_oracle_cell("agrep", None, workload_scale=SCALE)
+        assert cell.passed, cell.detail
+        assert cell.original is not None and cell.speculating is not None
+        assert cell.original.output == cell.speculating.output
+        assert len(cell.original.read_trace) > 0
+        assert cell.original.read_trace == cell.speculating.read_trace
+        assert cell.profile_name == "fault-free"
+
+    def test_chaos_cell_passes(self):
+        cell = run_oracle_cell("agrep", "transient-errors",
+                               workload_scale=SCALE)
+        assert cell.passed, cell.detail
+
+    def test_cell_jsonable_shape(self):
+        cell = run_oracle_cell("agrep", None, workload_scale=SCALE)
+        entry = cell.to_jsonable()
+        assert entry["app"] == "agrep"
+        assert entry["passed"] is True
+        assert "isolation_violations" in entry
+
+
+def _fake_run_experiment(output_by_variant, trace_by_variant=None):
+    trace_by_variant = trace_by_variant or {}
+
+    def fake(cfg):
+        variant = cfg.variant.value
+        return RunResult(
+            app=cfg.app, variant=variant, cycles=1, cpu_hz=1,
+            output=output_by_variant[variant],
+            read_trace=trace_by_variant.get(variant, ()),
+        )
+
+    return fake
+
+
+class TestMismatchDetection:
+    def test_output_divergence_detected(self, monkeypatch):
+        monkeypatch.setattr(oracle_mod, "run_experiment", _fake_run_experiment({
+            Variant.ORIGINAL.value: b"good",
+            Variant.SPECULATING.value: b"bad!",
+        }))
+        cell = run_oracle_cell("agrep", None)
+        assert not cell.passed
+        assert "output" in cell.detail
+
+    def test_trace_divergence_detected(self, monkeypatch):
+        monkeypatch.setattr(oracle_mod, "run_experiment", _fake_run_experiment(
+            {Variant.ORIGINAL.value: b"same", Variant.SPECULATING.value: b"same"},
+            {Variant.ORIGINAL.value: ((1, 0, 10),),
+             Variant.SPECULATING.value: ((1, 0, 20),)},
+        ))
+        cell = run_oracle_cell("agrep", None)
+        assert not cell.passed
+        assert "demand read" in cell.detail
+
+    def test_strict_mode_raises_typed_error(self, monkeypatch):
+        monkeypatch.setattr(oracle_mod, "run_experiment", _fake_run_experiment({
+            Variant.ORIGINAL.value: b"good",
+            Variant.SPECULATING.value: b"bad!",
+        }))
+        with pytest.raises(OracleMismatch, match="agrep under fault-free"):
+            run_oracle(("agrep",), profiles=(None,), strict=True)
+
+    def test_collect_mode_records_failures(self, monkeypatch):
+        monkeypatch.setattr(oracle_mod, "run_experiment", _fake_run_experiment({
+            Variant.ORIGINAL.value: b"good",
+            Variant.SPECULATING.value: b"bad!",
+        }))
+        report = run_oracle(("agrep",), profiles=(None, "transient-errors"))
+        assert not report.passed
+        assert len(report.failures()) == 2
+        assert "FAIL" in report.summary()
+
+
+class TestOracleReport:
+    def test_empty_report_passes(self):
+        assert OracleReport().passed
+
+    def test_jsonable_roundtrips_through_json(self):
+        import json
+
+        report = OracleReport(cells=[
+            OracleCell(app="agrep", profile=None, passed=True),
+            OracleCell(app="gnuld", profile="stuck-disk", passed=False,
+                       detail="output byte 0"),
+        ])
+        blob = json.dumps(report.to_jsonable())
+        data = json.loads(blob)
+        assert data["passed"] is False
+        assert len(data["cells"]) == 2

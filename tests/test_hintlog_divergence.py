@@ -1,0 +1,97 @@
+"""Hint-log divergence edge cases (Section 3.2.2's off-track detection).
+
+The original thread's pre-read check has exactly three outcomes: the next
+entry matches (on track), the next entry differs (strayed), or the log is
+empty (behind).  These tests pin down each divergence shape and the
+restart bookkeeping around them.
+"""
+
+from repro.harness.config import ExperimentConfig, Variant
+from repro.harness.runner import run_experiment
+from repro.spechint.hintlog import HintLog
+
+
+class TestFirstEntryDivergence:
+    def test_mismatch_on_first_entry(self):
+        log = HintLog()
+        log.append(ino=1, offset=0, length=100, hinted=True)
+        assert not log.check_and_consume(2, 0, 100)
+        assert log.mismatched_total == 1
+        assert log.matched_total == 0
+        # The mismatched entry is NOT consumed: a restart will reset it.
+        assert log.unconsumed == 1
+
+    def test_offset_mismatch_on_first_entry(self):
+        log = HintLog()
+        log.append(ino=1, offset=0, length=100, hinted=True)
+        assert not log.check_and_consume(1, 8192, 100)
+        assert log.mismatched_total == 1
+
+    def test_length_mismatch_on_first_entry(self):
+        log = HintLog()
+        log.append(ino=1, offset=0, length=100, hinted=True)
+        assert not log.check_and_consume(1, 0, 101)
+        assert log.mismatched_total == 1
+
+
+class TestDivergenceAfterStreak:
+    def test_mismatch_after_match_streak(self):
+        log = HintLog()
+        for i in range(5):
+            log.append(ino=1, offset=i * 100, length=100, hinted=True)
+        for i in range(4):
+            assert log.check_and_consume(1, i * 100, 100)
+        # Speculation strays on the fifth prediction.
+        assert not log.check_and_consume(1, 999_999, 100)
+        assert log.matched_total == 4
+        assert log.mismatched_total == 1
+        assert log.unconsumed == 1
+
+    def test_streak_resumes_after_reset(self):
+        log = HintLog()
+        log.append(1, 0, 100, True)
+        assert log.check_and_consume(1, 0, 100)
+        assert not log.check_and_consume(1, 100, 100)  # empty -> behind
+        log.reset()  # the restart protocol
+        assert len(log) == 0
+        assert log.unconsumed == 0
+        log.append(1, 100, 100, True)
+        assert log.check_and_consume(1, 100, 100)
+        assert log.matched_total == 2
+
+
+class TestEmptyLogRestart:
+    def test_empty_log_counts_as_behind(self):
+        log = HintLog()
+        assert not log.check_and_consume(1, 0, 100)
+        assert log.empty_total == 1
+        assert log.mismatched_total == 0
+
+    def test_drained_log_counts_as_behind(self):
+        log = HintLog()
+        log.append(1, 0, 100, True)
+        assert log.check_and_consume(1, 0, 100)
+        assert not log.check_and_consume(1, 100, 100)
+        assert log.empty_total == 1
+
+    def test_reset_after_empty_restart_clears_counters_index(self):
+        log = HintLog()
+        log.append(1, 0, 100, True)
+        log.check_and_consume(1, 0, 100)
+        log.reset()
+        # Lifetime counters survive the reset; the entries do not.
+        assert log.matched_total == 1
+        assert len(log) == 0
+        assert log.next_entry() is None
+
+
+class TestDivergenceEndToEnd:
+    """The empty-log restart at startup is how speculation boots: the very
+    first read finds no prediction and requests the kick-off restart."""
+
+    def test_startup_empty_log_triggers_first_restart(self):
+        result = run_experiment(ExperimentConfig(
+            app="agrep", variant=Variant.SPECULATING, workload_scale=0.3
+        ))
+        assert result.spec_restarts >= 1
+        assert result.c("spec.restart_requests") >= 1

@@ -1,0 +1,297 @@
+"""Tests for the speculation isolation auditor.
+
+Covers the three layers of the isolation contract — write containment,
+the tamper-evident audit table, and the restart-boundary digest — plus the
+graded quarantine response, and the end-to-end guarantee: a deliberately
+broken COW hook is caught as a typed :class:`IsolationViolation` and
+quarantined without corrupting the run's output.
+"""
+
+import pytest
+
+from repro.errors import IsolationViolation
+from repro.harness.config import ExperimentConfig, Variant
+from repro.harness.runner import run_experiment
+from repro.params import SpecHintParams
+from repro.spechint.auditor import (
+    AuditTable,
+    IsolationAuditor,
+    IsolationQuarantine,
+)
+from repro.spechint.cow import CowMap
+from repro.vm.memory import (
+    DATA_BASE,
+    SPEC_HEAP_BASE,
+    AddressSpace,
+)
+
+
+class _Proc:
+    """Minimal process stand-in for auditor unit tests."""
+
+    def __init__(self, data=b"\xAA" * 4096):
+        self.mem = AddressSpace(data)
+        self.fds = {}
+
+
+class TestAuditTable:
+    def test_empty_table_verifies(self):
+        table = AuditTable()
+        table.verify()
+        assert len(table) == 0
+
+    def test_records_chain_and_verify(self):
+        table = AuditTable()
+        table.record("write_suppressed", "fd=1 len=64")
+        table.record("syscall_blocked", "num=9")
+        table.record("restart", "cancelled=3")
+        table.verify()
+        assert table.records_total == 3
+        assert len({r.digest for r in table.records()}) == 3
+
+    def test_tampered_detail_breaks_chain(self):
+        table = AuditTable()
+        table.record("write_suppressed", "fd=1 len=64")
+        table.record("restart", "cancelled=0")
+        table.records()[0].detail = "fd=1 len=65"  # rewrite history
+        with pytest.raises(IsolationViolation, match="tampered"):
+            table.verify()
+
+    def test_tampered_head_detected(self):
+        table = AuditTable()
+        table.record("restart")
+        table.head_digest = "0" * 24
+        with pytest.raises(IsolationViolation, match="head digest"):
+            table.verify()
+
+    def test_folding_keeps_chain_verifiable(self):
+        table = AuditTable(capacity=4)
+        for i in range(20):
+            table.record("write_suppressed", f"n={i}")
+        assert len(table) == 4
+        assert table.records_total == 20
+        table.verify()
+
+    def test_tamper_after_fold_still_detected(self):
+        table = AuditTable(capacity=4)
+        for i in range(10):
+            table.record("write_suppressed", f"n={i}")
+        table.records()[-1].kind = "restart"
+        with pytest.raises(IsolationViolation):
+            table.verify()
+
+
+class TestQuarantine:
+    def test_inactive_initially(self):
+        q = IsolationQuarantine(base_reads=4, max_violations=3)
+        assert not q.active
+        assert not q.tick_read()
+
+    def test_windows_double_per_violation(self):
+        q = IsolationQuarantine(base_reads=4, max_violations=5)
+        q.impose("first")
+        assert q.reads_remaining == 4
+        q.impose("second")
+        assert q.reads_remaining == 8
+        q.impose("third")
+        assert q.reads_remaining == 16
+
+    def test_tick_releases_after_window(self):
+        q = IsolationQuarantine(base_reads=3, max_violations=5)
+        q.impose("x")
+        assert q.active
+        assert not q.tick_read()
+        assert not q.tick_read()
+        assert q.tick_read()  # third read releases
+        assert not q.active
+
+    def test_permanent_after_max_violations(self):
+        q = IsolationQuarantine(base_reads=2, max_violations=2)
+        q.impose("one")
+        q.impose("two")
+        assert q.permanent
+        assert q.active
+        assert not q.tick_read()  # never releases
+        assert q.reasons == ["one", "two"]
+
+
+class TestWriteContainment:
+    def test_spec_heap_writes_permitted(self):
+        proc = _Proc()
+        auditor = IsolationAuditor(proc)
+        proc.mem.spec_sbrk(128)
+        auditor.arm(proc.mem)
+        proc.mem.store_word(SPEC_HEAP_BASE, 42)  # no raise
+        auditor.disarm(proc.mem)
+        assert auditor.violations == 0
+
+    def test_data_segment_write_vetoed_before_landing(self):
+        proc = _Proc()
+        auditor = IsolationAuditor(proc)
+        before = proc.mem.raw_read(DATA_BASE, 8)
+        auditor.arm(proc.mem)
+        with pytest.raises(IsolationViolation, match="escaped COW containment"):
+            proc.mem.store_word(DATA_BASE, 0xDEAD)
+        auditor.disarm(proc.mem)
+        # The veto fired before the bytes landed.
+        assert proc.mem.raw_read(DATA_BASE, 8) == before
+        assert auditor.violations == 1
+
+    def test_raw_write_also_guarded(self):
+        proc = _Proc()
+        auditor = IsolationAuditor(proc)
+        auditor.arm(proc.mem)
+        with pytest.raises(IsolationViolation):
+            proc.mem.raw_write(DATA_BASE, b"oops")
+        auditor.disarm(proc.mem)
+
+    def test_disarm_restores_normal_writes(self):
+        proc = _Proc()
+        auditor = IsolationAuditor(proc)
+        auditor.arm(proc.mem)
+        auditor.disarm(proc.mem)
+        proc.mem.store_word(DATA_BASE, 7)  # no guard, no raise
+        assert proc.mem.load_word(DATA_BASE) == 7
+
+
+class TestCowContainment:
+    def test_normal_cow_writes_pass(self):
+        proc = _Proc()
+        auditor = IsolationAuditor(proc)
+        cow = CowMap(proc.mem, SpecHintParams(), auditor=auditor)
+        cow.store_word(DATA_BASE, 1)
+        cow.write_bytes(DATA_BASE + 100, b"contained")
+        assert auditor.cow_writes_checked == 2
+        assert auditor.violations == 0
+
+    def test_uncopied_region_is_a_violation(self):
+        proc = _Proc()
+        auditor = IsolationAuditor(proc)
+        cow = CowMap(proc.mem, SpecHintParams(), auditor=auditor)
+        with pytest.raises(IsolationViolation, match="containment map"):
+            auditor.check_cow_containment(cow, DATA_BASE, 8)
+
+
+class TestRestartBoundary:
+    def test_capture_then_verify_clean(self):
+        proc = _Proc()
+        auditor = IsolationAuditor(proc)
+        regs = [0] * 32
+        auditor.capture_boundary(regs)
+        auditor.verify_restart_boundary(regs)
+        assert auditor.boundary_verifies == 1
+
+    def test_fd_binding_change_detected(self):
+        from repro.kernel.process import FdState
+
+        proc = _Proc()
+        auditor = IsolationAuditor(proc)
+        auditor.capture_boundary(None)
+        proc.fds[3] = FdState(3, None, "sneaky")  # non-shadow state mutated
+        with pytest.raises(IsolationViolation, match="non-shadow state"):
+            auditor.verify_restart_boundary(None)
+
+    def test_heap_break_change_detected(self):
+        proc = _Proc()
+        auditor = IsolationAuditor(proc)
+        auditor.capture_boundary(None)
+        proc.mem.sbrk(4096)
+        with pytest.raises(IsolationViolation, match="non-shadow state"):
+            auditor.verify_restart_boundary(None)
+
+    def test_saved_regs_mutation_detected(self):
+        proc = _Proc()
+        auditor = IsolationAuditor(proc)
+        regs = [0] * 32
+        auditor.capture_boundary(regs)
+        regs[5] = 999
+        with pytest.raises(IsolationViolation, match="register snapshot"):
+            auditor.verify_restart_boundary(regs)
+
+    def test_spec_heap_growth_is_not_a_violation(self):
+        """The speculative heap is shadow state: growing it between the
+        capture and the restart is exactly what speculation is allowed
+        to do."""
+        proc = _Proc()
+        auditor = IsolationAuditor(proc)
+        auditor.capture_boundary(None)
+        proc.mem.spec_sbrk(4096)
+        auditor.verify_restart_boundary(None)  # no raise
+
+
+SCALE = 0.3
+
+
+def _result(app="agrep", variant=Variant.SPECULATING, **kwargs):
+    return run_experiment(ExperimentConfig(
+        app=app, variant=variant, workload_scale=SCALE, **kwargs
+    ))
+
+
+class TestEndToEnd:
+    def test_clean_run_has_no_violations(self):
+        result = _result()
+        assert result.isolation_violations == 0
+        assert result.quarantines == 0
+        assert result.audit_records >= 0
+        assert result.audit_head_digest
+        # Every completed restart passed the cancel-drain verification.
+        assert result.c("spec.cancel_drain_verified") == result.spec_restarts
+
+    def test_broken_cow_hook_is_caught_and_quarantined(self, monkeypatch):
+        """A COW hook rewritten (test-only) to write straight into main
+        memory must be vetoed as an IsolationViolation, quarantined, and
+        the run must still complete with baseline-identical output.
+
+        Runs on xds rather than agrep: agrep's shadow code performs no
+        wrapped stores at this scale, so its speculation never reaches the
+        COW write path at all.
+        """
+
+        def broken_write(self, addr, payload):
+            self.mem.raw_write(addr, payload)  # escape containment
+            return 0
+
+        monkeypatch.setattr(CowMap, "_write", broken_write)
+        result = _result(app="xds")
+        assert result.isolation_violations > 0
+        assert result.quarantines > 0
+        assert result.spec_parks.get("isolation_quarantine", 0) > 0
+
+        baseline = _result(app="xds", variant=Variant.ORIGINAL)
+        assert result.output == baseline.output
+        assert result.read_trace == baseline.read_trace
+
+    def test_broken_cow_hook_fault_events_recorded(self, monkeypatch):
+        def broken_write(self, addr, payload):
+            self.mem.raw_write(addr, payload)
+            return 0
+
+        monkeypatch.setattr(CowMap, "_write", broken_write)
+        result = _result(app="xds")
+        events = result.fault_events()
+        assert events.get("spec.isolation_violations", 0) > 0
+        assert events.get("spec.quarantines", 0) > 0
+
+    def test_leaked_hints_at_restart_are_a_violation(self, monkeypatch):
+        """If TIPIO_CANCEL_ALL fails to drain the queue, the restart's
+        drain check must catch it — quarantine, not silent corruption."""
+        from repro.tip.manager import TipManager
+
+        monkeypatch.setattr(
+            TipManager, "outstanding_hints", lambda self, pid: 3
+        )
+        result = _result()
+        assert result.isolation_violations > 0
+        assert result.spec_parks.get("isolation_quarantine", 0) > 0
+        baseline = _result(variant=Variant.ORIGINAL)
+        assert result.output == baseline.output
+
+    def test_audit_disabled_param_runs_without_auditor(self):
+        from repro.params import SystemConfig
+
+        params = SpecHintParams(isolation_audit=False)
+        system = SystemConfig(spechint=params)
+        result = _result(system=system)
+        assert result.audit_head_digest == ""
+        assert result.isolation_violations == 0

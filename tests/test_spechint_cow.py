@@ -146,9 +146,51 @@ class TestBulk:
         again = cow.precopy_range(DATA_BASE, 512)
         assert again == 0
 
-    def test_precopy_empty_range(self):
+    def test_precopy_empty_range_faults(self):
+        """A zero-length precopy is always bad restart arithmetic: typed
+        fault, not a silent no-op."""
         cow, _ = make_cow()
-        assert cow.precopy_range(DATA_BASE, 0) == 0
+        with pytest.raises(SpeculationFault, match="degenerate precopy"):
+            cow.precopy_range(DATA_BASE, 0)
+
+    def test_precopy_negative_range_faults(self):
+        cow, _ = make_cow()
+        with pytest.raises(SpeculationFault, match="degenerate precopy"):
+            cow.precopy_range(DATA_BASE, -8)
+
+    def test_read_bytes_zero_length_faults(self):
+        cow, _ = make_cow()
+        with pytest.raises(SpeculationFault, match="zero-length"):
+            cow.read_bytes(DATA_BASE, 0)
+
+    def test_read_bytes_negative_length_faults(self):
+        cow, _ = make_cow()
+        with pytest.raises(SpeculationFault, match="zero-length"):
+            cow.read_bytes(DATA_BASE, -4)
+
+    def test_write_bytes_empty_payload_faults(self):
+        cow, _ = make_cow()
+        with pytest.raises(SpeculationFault, match="zero-length"):
+            cow.write_bytes(DATA_BASE, b"")
+
+    def test_read_cstring_crossing_segment_boundary_faults(self):
+        """A string scan must not silently truncate at the data segment's
+        end: crossing the boundary is the typed fault, explicitly."""
+        # One full page of unterminated 'A's: the segment (brk) ends
+        # exactly where the scan still has budget left.
+        cow, mem = make_cow(data=b"\x41" * 4096)
+        assert mem.segment_end(DATA_BASE) == DATA_BASE + 4096
+        with pytest.raises(SpeculationFault, match="crosses the region boundary"):
+            cow.read_cstring(DATA_BASE, max_len=8192)
+
+    def test_read_cstring_terminated_before_boundary_ok(self):
+        cow, _ = make_cow(data=b"ok\x00" + b"\x41" * 61)
+        assert cow.read_cstring(DATA_BASE) == b"ok"
+
+    def test_read_cstring_unmapped_faults(self):
+        cow, _ = make_cow()
+        with pytest.raises(SpeculationFault, match="unmapped"):
+            cow.read_cstring(64)
 
 
 class TestFootprintAccounting:

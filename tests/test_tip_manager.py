@@ -221,3 +221,47 @@ class TestEviction:
         manager.hint_segments(PID, [seg(fs, "f0", 0, 3 * BLOCK_SIZE)])
         manager.finalize()
         assert stats.get("tip.hints_unconsumed_at_end") == 3
+
+
+class TestCancelDrain:
+    """TIPIO_CANCEL_ALL's post-condition: the queue is provably drained
+    (the restart protocol restarts speculation on the strength of this)."""
+
+    def test_cancel_all_drains_outstanding_hints(self):
+        manager, fs, _, stats = make_tip()
+        manager.hint_segments(PID, [seg(fs, "f0", 0, 5 * BLOCK_SIZE)])
+        assert manager.outstanding_hints(PID) == 5
+        cancelled = manager.cancel_all(PID)
+        assert cancelled == 5
+        assert manager.outstanding_hints(PID) == 0
+        assert manager.cancelled_total == 5
+        assert stats.get("tip.cancel_drained") == 1
+
+    def test_leaked_unconsumed_hint_is_cancelled(self):
+        """A hint the application never consumed (leaked from its point of
+        view) must still be drained by the cancel, not linger."""
+        manager, fs, engine, _ = make_tip()
+        manager.hint_segments(PID, [seg(fs, "f0", 0, 3 * BLOCK_SIZE)])
+        drain(engine)
+        # Consume two of three; the third leaks.
+        inode = fs.lookup("f0")
+        manager.consume_hints(PID, inode, 0, 1, 0, 2 * BLOCK_SIZE)
+        assert manager.outstanding_hints(PID) == 1
+        assert manager.cancel_all(PID) == 1
+        assert manager.outstanding_hints(PID) == 0
+
+    def test_cancel_idempotent_on_empty_queue(self):
+        manager, fs, _, _ = make_tip()
+        assert manager.cancel_all(PID) == 0
+        manager.hint_segments(PID, [seg(fs, "f0", 0, BLOCK_SIZE)])
+        manager.cancel_all(PID)
+        assert manager.cancel_all(PID) == 0
+        assert manager.cancelled_total == 1
+
+    def test_cancelled_total_accumulates_across_calls(self):
+        manager, fs, _, _ = make_tip()
+        manager.hint_segments(PID, [seg(fs, "f0", 0, 2 * BLOCK_SIZE)])
+        manager.cancel_all(PID)
+        manager.hint_segments(PID, [seg(fs, "f1", 0, 3 * BLOCK_SIZE)])
+        manager.cancel_all(PID)
+        assert manager.cancelled_total == 5
