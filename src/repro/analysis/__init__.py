@@ -1,0 +1,73 @@
+"""Static binary analysis for SpecVM executables.
+
+A four-stage pipeline (Section 9 of DESIGN.md):
+
+1. :mod:`repro.analysis.cfg` — basic blocks, dominators, natural loops;
+2. :mod:`repro.analysis.dataflow` — generic worklist solver, reaching
+   definitions, liveness;
+3. :mod:`repro.analysis.absint` — abstract interpretation over a value
+   range / function-pointer / stack-slot domain;
+4. :mod:`repro.analysis.driver` — whole-binary facts: transfer
+   resolution, store classification, speculation and syscall
+   reachability, the :class:`~repro.analysis.driver.ElisionPlan` the
+   SpecHint tool consumes, and lint findings.
+
+The analysis is advisory: the runtime isolation auditor remains the
+soundness oracle, so a wrong fact degrades to a quarantine (performance
+loss), never to corrupted output.
+"""
+
+from repro.analysis.absint import (
+    AbsState,
+    AbsVal,
+    FunctionFacts,
+    ValueKind,
+    analyze_function,
+)
+from repro.analysis.cfg import CFG, BasicBlock, Loop, build_cfg, build_cfgs
+from repro.analysis.dataflow import (
+    defs_uses,
+    live_out,
+    reaching_definitions,
+    worklist_solve,
+)
+from repro.analysis.driver import (
+    BinaryAnalysis,
+    CheckCosts,
+    ElisionPlan,
+    LintFinding,
+    StoreClass,
+    TransferFact,
+    TransferKind,
+    analyze_binary,
+    check_costs,
+)
+from repro.analysis.fixtures import build_safe_fixture, build_unsafe_fixture
+
+__all__ = [
+    "AbsState",
+    "AbsVal",
+    "BasicBlock",
+    "BinaryAnalysis",
+    "CFG",
+    "CheckCosts",
+    "ElisionPlan",
+    "FunctionFacts",
+    "LintFinding",
+    "Loop",
+    "StoreClass",
+    "TransferFact",
+    "TransferKind",
+    "ValueKind",
+    "analyze_binary",
+    "analyze_function",
+    "build_cfg",
+    "build_cfgs",
+    "build_safe_fixture",
+    "build_unsafe_fixture",
+    "check_costs",
+    "defs_uses",
+    "live_out",
+    "reaching_definitions",
+    "worklist_solve",
+]

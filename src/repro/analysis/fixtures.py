@@ -1,0 +1,64 @@
+"""Hand-built binaries exercising analysis edge cases.
+
+The shipped example applications are all speculation-clean, so the lint
+error paths (`unmappable-transfer`, `unknown-syscall`, ...) need crafted
+inputs.  These fixtures are reachable from the CLI (``repro analyze
+unsafe-fixture --lint``) and from the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.vm.assembler import Assembler
+from repro.vm.binary import Binary
+from repro.vm.isa import SYS_EXIT, SYS_READ, Reg
+
+
+def build_unsafe_fixture() -> Binary:
+    """A binary speculation cannot safely pre-execute.
+
+    After its blocking read it (a) jumps through a register holding a
+    constant that is *not* a function entry — the handling routine can
+    never map it, so speculation parks forever — and (b) issues a
+    syscall number the runtime has no policy for.  ``repro analyze
+    --lint`` must exit non-zero on this binary.
+    """
+    asm = Assembler("unsafe-fixture")
+    asm.data_space("buf", 64)
+
+    with asm.function("main"):
+        asm.li(Reg.a0, 0)
+        asm.la(Reg.a1, "buf")
+        asm.li(Reg.a2, 64)
+        asm.syscall(SYS_READ)
+        asm.push(Reg.ra)
+        asm.call("tail")
+        asm.pop(Reg.ra)
+        # Computed jump to a provable non-entry constant: unmappable.
+        asm.li(Reg.t0, 2)
+        asm.jr(Reg.t0)
+
+    with asm.function("tail"):
+        # Speculation-reachable syscall with no runtime policy.
+        asm.syscall(99)
+        asm.ret()
+
+    asm.entry("main")
+    return asm.finish()
+
+
+def build_safe_fixture() -> Binary:
+    """A minimal binary that passes ``--lint`` cleanly."""
+    asm = Assembler("safe-fixture")
+    asm.data_space("buf", 64)
+
+    with asm.function("main"):
+        asm.li(Reg.a0, 0)
+        asm.la(Reg.a1, "buf")
+        asm.li(Reg.a2, 64)
+        asm.syscall(SYS_READ)
+        asm.li(Reg.a0, 0)
+        asm.syscall(SYS_EXIT)
+        asm.halt()
+
+    asm.entry("main")
+    return asm.finish()

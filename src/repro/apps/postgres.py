@@ -47,6 +47,17 @@ KEYS_PER_LEAF = 64
 #: Rough size of a statically linked Postgres backend of the era.
 PAPER_ORIGINAL_SIZE = 1800 * 1024
 
+#: What the static-analysis pass (``repro analyze``) is expected to prove
+#: about this binary.  The three live probe-worklist stores stay wrapped;
+#: the comparator dispatch CALLR resolves to ``cmp_keys`` statically.
+ANALYSIS_EXPECTATIONS = {
+    "wrapped_stores": 9,
+    "elidable_stores": 6,
+    "resolved_transfers": 1,  # callr through la(cmp_keys)
+    "lint_errors": 0,
+    "lint_warnings": 0,
+}
+
 
 @dataclass(frozen=True)
 class PostgresWorkload:
@@ -185,6 +196,16 @@ class _PostgresBuilder:
         asm.entry("main")
         with asm.function("main"):
             self._emit_open_all()
+            # Comparator dispatch through a function pointer, the way the
+            # real executor selects its row-compare routine.  The target
+            # is a provable constant, so static analysis can resolve this
+            # CALLR instead of routing it through the handling routine.
+            asm.la(Reg.t1, "cmp_keys")
+            asm.push(Reg.ra)
+            asm.li(Reg.a0, 0)
+            asm.li(Reg.a1, 1)
+            asm.callr(Reg.t1)
+            asm.pop(Reg.ra)
             if self.manual:
                 # The outer scan is fully predictable: disclose the whole
                 # outer relation up front (one batched segment hint).
@@ -198,6 +219,10 @@ class _PostgresBuilder:
             asm.call("print_num")
             asm.li(Reg.a0, 0)
             asm.syscall(SYS_EXIT)
+
+        with asm.function("cmp_keys"):
+            asm.slt(Reg.v0, Reg.a0, Reg.a1)
+            asm.ret()
 
         binary = asm.finish()
         binary.declared_size_bytes = PAPER_ORIGINAL_SIZE

@@ -10,9 +10,14 @@ Commands
     Run all three variants of one or more apps and print a Figure 3-style
     comparison.
 
-``transform APP``
+``transform APP [--optimize]``
     Run the SpecHint tool over a benchmark binary and print the Table 3
     statistics plus a disassembly excerpt around the shadow boundary.
+
+``analyze APP [--json] [--lint]``
+    Run the static-analysis pipeline (CFG, dataflow, abstract
+    interpretation) over a benchmark binary and print the store/transfer
+    classification report; ``--lint`` exits non-zero on error findings.
 
 ``sweep {disks,cache,ratio}``
     Regenerate one of the paper's sweep experiments (Figure 5 / Table 7 /
@@ -156,21 +161,32 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_transform(args: argparse.Namespace) -> int:
-    from repro.apps.agrep import AgrepWorkload, build_agrep
-    from repro.apps.gnuld import GnuldWorkload, build_gnuld
-    from repro.apps.xdataslice import XdsWorkload, build_xdataslice
+def _build_app_binary(app: str, scale: float) -> "object":
+    """Assemble one example app (or analysis fixture) without running it."""
     from repro.fs.filesystem import FileSystem
+
+    if app in ("unsafe-fixture", "safe-fixture"):
+        from repro.analysis.fixtures import (
+            build_safe_fixture,
+            build_unsafe_fixture,
+        )
+
+        builder = {
+            "unsafe-fixture": build_unsafe_fixture,
+            "safe-fixture": build_safe_fixture,
+        }[app]
+        return builder()
+    from repro.harness.runner import _BUILDERS
+
+    return _BUILDERS[app](FileSystem(), scale, False)
+
+
+def cmd_transform(args: argparse.Namespace) -> int:
     from repro.spechint.tool import SpecHintTool
     from repro.vm.disasm import listing
 
-    builders = {
-        "agrep": lambda fs: build_agrep(fs, AgrepWorkload().scaled(args.scale)),
-        "gnuld": lambda fs: build_gnuld(fs, GnuldWorkload().scaled(args.scale)),
-        "xds": lambda fs: build_xdataslice(fs, XdsWorkload().scaled(args.scale)),
-    }
-    binary = builders[args.app](FileSystem())
-    transformed = SpecHintTool().transform(binary)
+    binary = _build_app_binary(args.app, args.scale)
+    transformed = SpecHintTool(optimize=args.optimize).transform(binary)
     report = transformed.spec_meta.report
 
     print(f"transformed {report.binary_name} in "
@@ -189,10 +205,49 @@ def cmd_transform(args: argparse.Namespace) -> int:
     print(f"  size:           {report.original_size_bytes:,} -> "
           f"{report.transformed_size_bytes:,} bytes "
           f"(+{report.size_increase_pct:.0f}%)")
+    if report.analysis_applied:
+        print(f"  analysis:       {report.stores_elided} store wrappers "
+              f"elided ({report.store_elision_pct:.0f}%), "
+              f"{report.loads_unchecked_dead} load checks dropped, "
+              f"{report.transfers_statically_resolved} transfers resolved; "
+              f"check cycles {report.check_cycles_baseline} -> "
+              f"{report.check_cycles_emitted} "
+              f"(-{report.check_cycles_saved_pct:.0f}%)")
     if args.disasm:
         boundary = transformed.spec_meta.shadow_base
         lo = max(0, boundary - args.disasm // 2)
         print("\n" + listing(transformed, lo, boundary + args.disasm // 2))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """``repro analyze APP``: run the static-analysis pipeline and report.
+
+    ``--lint`` turns error-severity findings into a non-zero exit: a
+    binary with a computed transfer that can never be mapped, or a
+    speculation-reachable syscall the runtime has no policy for, will
+    never benefit from speculation and should be flagged in CI.
+    """
+    import json
+
+    from repro.analysis.driver import analyze_binary
+
+    binary = _build_app_binary(args.app, args.scale)
+    analysis = analyze_binary(binary, map_all_addresses=args.map_all)
+
+    if args.json:
+        print(json.dumps(analysis.to_jsonable(), indent=2, sort_keys=True))
+    else:
+        print(analysis.format_text())
+
+    if args.lint:
+        errors = analysis.lint_errors
+        if errors:
+            print(f"\nlint: {len(errors)} error(s), "
+                  f"{len(analysis.lint) - len(errors)} warning(s)",
+                  file=sys.stderr)
+            return 1
+        print(f"\nlint: ok ({len(analysis.lint)} warning(s))")
     return 0
 
 
@@ -293,9 +348,29 @@ def build_parser() -> argparse.ArgumentParser:
     tr_p = sub.add_parser("transform", help="show SpecHint tool output")
     tr_p.add_argument("app", choices=ALL_APPS)
     tr_p.add_argument("--scale", type=float, default=1.0)
+    tr_p.add_argument("--optimize", action="store_true",
+                      help="apply the static-analysis elision plan")
     tr_p.add_argument("--disasm", type=int, default=0, metavar="N",
                       help="print N listing lines around the shadow boundary")
     tr_p.set_defaults(func=cmd_transform)
+
+    an_p = sub.add_parser(
+        "analyze",
+        help="static analysis: CFG, dataflow, store classes, transfers",
+    )
+    an_p.add_argument("app",
+                      choices=ALL_APPS + ("unsafe-fixture", "safe-fixture"))
+    an_p.add_argument("--scale", type=float, default=1.0)
+    an_p.add_argument("--json", action="store_true",
+                      help="emit the full report as JSON")
+    an_p.add_argument("--lint", action="store_true",
+                      help="exit non-zero when any error-severity finding "
+                           "exists (unmappable transfers, unpolicied "
+                           "speculation-reachable syscalls)")
+    an_p.add_argument("--map-all", action="store_true", dest="map_all",
+                      help="analyze under the map-all-addresses ablation "
+                           "(reports only; the elision plan is empty)")
+    an_p.set_defaults(func=cmd_analyze)
 
     sw_p = sub.add_parser("sweep", help="regenerate a sweep experiment")
     sw_p.add_argument("kind", choices=("disks", "cache", "ratio"))

@@ -160,6 +160,30 @@ class IsolationViolation(SpecHintError):
 
 
 # ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+class AnalysisError(ReproError):
+    """The static binary analysis could not produce a sound result.
+
+    Raised when an internal invariant of the analysis pipeline breaks
+    (e.g. the abstract-interpretation fixpoint fails to converge) or when
+    it is asked to analyze a binary it cannot reason about.  Never raised
+    for ordinary imprecision — an unprovable fact degrades to UNKNOWN and
+    the transformation stays conservative.
+    """
+
+
+class LintFailure(AnalysisError):
+    """``repro analyze --lint`` findings at error severity.
+
+    Raised (and mapped to a non-zero exit) when a binary contains a
+    computed transfer that can never be mapped into the shadow or a
+    speculation-reachable system call the runtime has no policy for.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Harness
 # ---------------------------------------------------------------------------
 

@@ -127,7 +127,9 @@ def profile(name: str, seed: Optional[int] = None) -> FaultPlan:
         plan = PROFILES[name]
     except KeyError:
         known = ", ".join(sorted(PROFILES))
-        raise ValueError(f"unknown fault profile {name!r}; expected one of: {known}")
+        raise ValueError(
+            f"unknown fault profile {name!r}; expected one of: {known}"
+        ) from None
     if seed is not None:
         plan = plan.with_seed(seed)
     return plan

@@ -80,7 +80,9 @@ class SweepCheckpoint:
             with open(path, "r", encoding="utf-8") as handle:
                 data = json.load(handle)
         except FileNotFoundError:
-            raise CheckpointError(f"no checkpoint at {path!r} to resume from")
+            raise CheckpointError(
+                f"no checkpoint at {path!r} to resume from"
+            ) from None
         except (OSError, json.JSONDecodeError) as exc:
             raise CheckpointError(
                 f"checkpoint {path!r} is unreadable or corrupt: {exc}"
@@ -133,7 +135,7 @@ class SweepCheckpoint:
         try:
             data = self._cells[key]
         except KeyError:
-            raise CheckpointError(f"checkpoint has no cell {key!r}")
+            raise CheckpointError(f"checkpoint has no cell {key!r}") from None
         try:
             return RunResult.from_jsonable(data)
         except (KeyError, TypeError, ValueError) as exc:

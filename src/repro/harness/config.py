@@ -49,6 +49,11 @@ class ExperimentConfig:
     #: address (extension ablation), not just function entries.
     map_all_addresses: bool = False
 
+    #: SpecHint tool option: run the static-analysis pass and apply its
+    #: elision plan (skip provably unnecessary COW checks, statically
+    #: redirect provably resolved computed transfers).
+    analysis_optimize: bool = False
+
     #: Disk speed-up matching the workload scaling (see
     #: ``DiskParams.scaled``); None keeps ``system.disk`` untouched.
     disk_time_scale: Optional[float] = 4.0

@@ -121,12 +121,15 @@ def run_oracle_cell(
     workload_scale: float = 1.0,
     fault_seed: int = 7,
     system: Optional[SystemConfig] = None,
+    analysis_optimize: bool = False,
 ) -> OracleCell:
     """Differential run of one app under one chaos profile.
 
     Both runs share the system seed and (when chaotic) the fault seed; the
-    only difference is whether the binary was transformed.  Returns the
-    cell; never raises — the caller decides whether a failure is fatal.
+    only difference is whether the binary was transformed
+    (``analysis_optimize`` additionally applies the static-analysis
+    elision plan to the transformed side).  Returns the cell; never raises
+    — the caller decides whether a failure is fatal.
     """
     base = ExperimentConfig(
         app=app,
@@ -134,6 +137,7 @@ def run_oracle_cell(
         workload_scale=workload_scale,
         fault_profile=profile,
         fault_seed=fault_seed,
+        analysis_optimize=analysis_optimize,
     )
     original = run_experiment(base.with_(variant=Variant.ORIGINAL))
     speculating = run_experiment(base.with_(variant=Variant.SPECULATING))
@@ -157,6 +161,7 @@ def run_oracle(
     fault_seed: int = 7,
     system: Optional[SystemConfig] = None,
     strict: bool = False,
+    analysis_optimize: bool = False,
 ) -> OracleReport:
     """Differential oracle over an app x chaos-profile grid.
 
@@ -170,6 +175,7 @@ def run_oracle(
             cell = run_oracle_cell(
                 app, profile, workload_scale=workload_scale,
                 fault_seed=fault_seed, system=system,
+                analysis_optimize=analysis_optimize,
             )
             report.cells.append(cell)
             if strict and not cell.passed:

@@ -112,6 +112,7 @@ def run_experiment(cfg: ExperimentConfig) -> RunResult:
         tool = SpecHintTool(
             params=system_config.spechint,
             map_all_addresses=cfg.map_all_addresses,
+            optimize=cfg.analysis_optimize,
         )
         binary = tool.transform(binary)
         transform_report = binary.spec_meta.report

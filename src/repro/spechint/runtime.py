@@ -34,7 +34,7 @@ inherited real fds issue ``TIPIO_FD_SEG`` hints.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.errors import IsolationViolation
 from repro.faults.watchdog import SpeculationWatchdog
@@ -145,7 +145,7 @@ class SpecProcessState:
 
         #: Restart handshake (Section 3.2.2).
         self.restart_flag = False
-        self._saved_regs: Optional[list] = None
+        self._saved_regs: Optional[List[int]] = None
         self._saved_resume_pc = 0  # original-text index after the read
         self._saved_read_fd = -1
         self._saved_read_offset = 0
@@ -162,6 +162,32 @@ class SpecProcessState:
         self.hints_issued = 0
         self.predictions = 0
         self.parks: Dict[str, int] = {}
+
+        # Surface what the static-analysis pass did to this binary, and
+        # chain it into the audit table: elided COW wrappers are exactly
+        # the stores the runtime write guard must now backstop.
+        report = meta.report
+        if report is not None and report.analysis_applied:
+            stats = kernel.stats
+            stats.counter("spechint.analysis.stores_elided").add(
+                report.stores_elided
+            )
+            stats.counter("spechint.analysis.loads_unchecked").add(
+                report.loads_unchecked_dead
+            )
+            stats.counter("spechint.analysis.transfers_resolved").add(
+                report.transfers_statically_resolved
+            )
+            saved = report.check_cycles_baseline - report.check_cycles_emitted
+            stats.counter("spechint.analysis.check_cycles_saved").add(saved)
+            if self.auditor is not None:
+                self.auditor.table.record(
+                    "analysis",
+                    f"elided={report.stores_elided} "
+                    f"unchecked={report.loads_unchecked_dead} "
+                    f"resolved={report.transfers_statically_resolved} "
+                    f"cycles_saved={saved}",
+                )
 
     # ------------------------------------------------- original-thread side
 

@@ -33,6 +33,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.analysis.driver import (
+    BinaryAnalysis,
+    CheckCosts,
+    ElisionPlan,
+    analyze_binary,
+    check_costs,
+)
 from repro.errors import UnsupportedBinary
 from repro.params import SpecHintParams
 from repro.spechint.report import TransformReport
@@ -68,6 +75,8 @@ class SpecMeta:
     report: Optional[TransformReport] = None
     #: Names of output routines whose call sites were stripped.
     stripped_routines: List[str] = field(default_factory=list)
+    #: Static-analysis results, when the tool ran with ``optimize=True``.
+    analysis: Optional[BinaryAnalysis] = None
 
     def to_shadow(self, original_index: int) -> int:
         """Map any original text index to its shadow twin (mechanically
@@ -92,11 +101,19 @@ class SpecHintTool:
         self,
         params: Optional[SpecHintParams] = None,
         map_all_addresses: bool = False,
+        optimize: bool = False,
     ) -> None:
         self.params = params or SpecHintParams()
         #: Extension ablation: allow the handling routine to map *any*
         #: original-text address, not just function entries.
         self.map_all_addresses = map_all_addresses
+        #: Run the static-analysis pass and apply its elision plan (skip
+        #: provably unnecessary COW wrappers, redirect provably resolved
+        #: computed transfers).  Under ``map_all_addresses`` the analysis
+        #: still runs for its report but its plan is empty: garbage jumps
+        #: can then enter functions mid-body, which breaks the entry-state
+        #: assumptions every per-function fact rests on.
+        self.optimize = optimize
 
     # ------------------------------------------------------------------ API
 
@@ -108,6 +125,14 @@ class SpecHintTool:
         shadow_base = len(binary.text)
         counters = _TransformCounters()
         func_names = self._function_name_by_index(binary)
+
+        analysis: Optional[BinaryAnalysis] = None
+        plan = ElisionPlan()
+        if self.optimize:
+            analysis = analyze_binary(
+                binary, self.params, self.map_all_addresses
+            )
+            plan = analysis.elision_plan
 
         # Recognized jump tables get shadow twins; remember the id mapping.
         jump_tables: List[JumpTable] = list(binary.jump_tables)
@@ -130,7 +155,8 @@ class SpecHintTool:
             func = func_names[index]
             shadow_text.append(
                 self._transform_insn(
-                    insn, shadow_base, binary, func, shadow_table_ids, counters
+                    index, insn, shadow_base, binary, func, shadow_table_ids,
+                    plan, counters,
                 )
             )
 
@@ -160,6 +186,14 @@ class SpecHintTool:
             output_calls_stripped=counters.output_calls_stripped,
             reads_substituted=counters.reads_substituted,
             syscalls_guarded=counters.syscalls_guarded,
+            analysis_applied=analysis is not None,
+            stores_elided_dead=counters.stores_elided_dead,
+            loads_unchecked_dead=counters.loads_unchecked_dead,
+            stack_proved_unchecked=counters.stack_proved_unchecked,
+            heap_stores_elided=counters.heap_stores_elided,
+            transfers_statically_resolved=counters.transfers_resolved_static,
+            check_cycles_baseline=counters.check_cycles_baseline,
+            check_cycles_emitted=counters.check_cycles_emitted,
         )
 
         meta = SpecMeta(
@@ -170,6 +204,7 @@ class SpecHintTool:
             map_all_addresses=self.map_all_addresses,
             report=report,
             stripped_routines=sorted(binary.output_routines),
+            analysis=analysis,
         )
 
         return SpeculatingBinary(
@@ -207,23 +242,21 @@ class SpecHintTool:
                 names[i] = func.name
         return names
 
-    def _check_costs(self, binary: Binary, func: Optional[str]) -> (int, int):
-        """(load, store) COW check cycle costs within ``func``."""
-        p = self.params
-        load_cost, store_cost = p.cow_load_check_cycles, p.cow_store_check_cycles
-        if func is not None and func in binary.optimized_stdlib:
-            divisor = max(1, p.optimized_stdlib_check_divisor)
-            load_cost = max(1, load_cost // divisor)
-            store_cost = max(1, store_cost // divisor)
-        return load_cost, store_cost
+    def _check_costs(self, binary: Binary, func: Optional[str]) -> CheckCosts:
+        """COW check cycle costs for loads and stores within ``func``."""
+        return check_costs(
+            self.params, func is not None and func in binary.optimized_stdlib
+        )
 
     def _transform_insn(
         self,
+        index: int,
         insn: Insn,
         shadow_base: int,
         binary: Binary,
         func: Optional[str],
         shadow_table_ids: Dict[int, int],
+        plan: ElisionPlan,
         counters: "_TransformCounters",
     ) -> Insn:
         op = insn.op
@@ -244,19 +277,44 @@ class SpecHintTool:
                 counters.stack_relative_skipped += 1
             else:
                 check = store_cost if is_store else load_cost
-                if is_store:
-                    counters.stores_wrapped += 1
+                counters.check_cycles_baseline += check
+                if index in plan.dead:
+                    # Speculation can never reach this site.  Stores keep
+                    # their plain form (the armed write guard is the
+                    # backstop if the analysis were ever wrong); loads keep
+                    # COW semantics but drop the check cycles.
+                    if is_store:
+                        counters.stores_elided_dead += 1
+                        return insn.clone()
+                    counters.loads_unchecked_dead += 1
+                    check = 0
+                elif is_store and index in plan.heap_stores:
+                    # Provably confined to the speculative heap: the write
+                    # guard explicitly allows direct stores there.
+                    counters.heap_stores_elided += 1
+                    return insn.clone()
+                elif index in plan.stack_proved:
+                    # Provably stack-relative (though not assembler-marked):
+                    # the pre-copied stack needs no check.
+                    counters.stack_proved_unchecked += 1
+                    check = 0
                 else:
-                    counters.loads_wrapped += 1
+                    counters.check_cycles_emitted += check
+                    if is_store:
+                        counters.stores_wrapped += 1
+                    else:
+                        counters.loads_wrapped += 1
             out = insn.clone()
             out.op = new_op
             out.d = check
             return out
 
         if op is Op.CWORK:
-            total = insn.a + insn.b * load_cost + insn.c * store_cost
+            dilation = insn.b * load_cost + insn.c * store_cost
+            counters.check_cycles_baseline += dilation
+            counters.check_cycles_emitted += dilation
             counters.cwork_dilated += 1
-            return Insn(Op.SCWORK, total, 0, 0, 0, insn.meta)
+            return Insn(Op.SCWORK, insn.a + dilation, 0, 0, 0, insn.meta)
 
         if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.JMP):
             out = insn.clone()
@@ -276,12 +334,35 @@ class SpecHintTool:
             return out
 
         if op is Op.JR:
+            target = plan.resolved.get(index)
+            if target is not None:
+                # The analysis proved the only possible target: jump
+                # straight to its shadow twin instead of routing through
+                # the handling routine.
+                counters.transfers_resolved_static += 1
+                counters.static_redirected += 1
+                return Insn(Op.JMP, 0, 0, target + shadow_base,
+                            meta=insn.meta)
             counters.dynamic_routed += 1
             out = insn.clone()
             out.op = Op.SPEC_JR
             return out
 
         if op is Op.CALLR:
+            target = plan.resolved.get(index)
+            if target is not None:
+                callee = binary.function_at_entry(target)
+                if callee is not None and callee.name in binary.output_routines:
+                    # A resolved indirect call to an output routine is
+                    # stripped exactly like a direct one.
+                    counters.output_calls_stripped += 1
+                    return Insn(Op.NOP, meta=insn.meta)
+                counters.transfers_resolved_static += 1
+                counters.static_redirected += 1
+                meta = dict(insn.meta) if insn.meta else {}
+                if callee is not None:
+                    meta["call_target"] = callee.name
+                return Insn(Op.CALL, 0, 0, target + shadow_base, meta=meta)
             counters.dynamic_routed += 1
             out = insn.clone()
             out.op = Op.SPEC_CALLR
@@ -366,6 +447,13 @@ class _TransformCounters:
         "output_calls_stripped",
         "reads_substituted",
         "syscalls_guarded",
+        "stores_elided_dead",
+        "loads_unchecked_dead",
+        "stack_proved_unchecked",
+        "heap_stores_elided",
+        "transfers_resolved_static",
+        "check_cycles_baseline",
+        "check_cycles_emitted",
     )
 
     def __init__(self) -> None:

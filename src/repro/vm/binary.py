@@ -122,6 +122,18 @@ class Binary:
             raise AssemblyError(f"unknown jump table {table_id} in {self.name}")
         return self.jump_tables[table_id]
 
+    def function_entries(self) -> Dict[int, Function]:
+        """Entry index -> function, for every function in the binary.
+
+        This is exactly the set of targets the SpecHint handling routine
+        can map at runtime, which makes it the static analysis's universe
+        for unresolved computed transfers.
+        """
+        return dict(self._function_by_entry)
+
+    def is_function_entry(self, index: int) -> bool:
+        return index in self._function_by_entry
+
     # -- size accounting (Table 3) --------------------------------------------------
 
     @property

@@ -58,7 +58,17 @@ def format_insn(insn: Insn, binary: Optional[Binary] = None) -> str:
     if op in (Op.CALLR, Op.SPEC_CALLR):
         return f"{op.name.lower():8s}{_reg(insn.a)}"
     if op in (Op.SWITCH, Op.SPEC_SWITCH):
-        return f"{op.name.lower():8s}{_reg(insn.a)}, table#{insn.c}"
+        text = f"{op.name.lower():8s}{_reg(insn.a)}, table#{insn.c}"
+        if binary is not None:
+            table = binary.jump_table(insn.c)
+            targets = ", ".join(
+                _label(t, binary) for t in table.targets[:6]
+            )
+            if len(table.targets) > 6:
+                targets += ", ..."
+            tag = "" if table.recognized else "unrecognized; "
+            text += f"  ; {tag}[{targets}]"
+        return text
     if op in (Op.SYSCALL, Op.SPEC_SYSCALL):
         name = SYSCALL_NAMES.get(insn.c, str(insn.c))
         return f"{op.name.lower() + ' ':14s}{name}"

@@ -429,30 +429,51 @@ class Machine:
     def _op_load(self, thread: "Thread", insn: Insn) -> int:
         proc = thread.process
         addr = (thread.regs[insn.b] + insn.c) & MASK64
-        thread.regs[insn.a] = proc.mem.load_word(addr)
+        try:
+            thread.regs[insn.a] = proc.mem.load_word(addr)
+        except MachineFault as exc:
+            self._spec_mem_fault(thread, exc)
         thread.pc += 1
         return MEM_COST + self._page_event_cost[proc.vmstat.touch_addr(addr)]
 
     def _op_store(self, thread: "Thread", insn: Insn) -> int:
         proc = thread.process
         addr = (thread.regs[insn.b] + insn.c) & MASK64
-        proc.mem.store_word(addr, thread.regs[insn.a])
+        try:
+            proc.mem.store_word(addr, thread.regs[insn.a])
+        except MachineFault as exc:
+            self._spec_mem_fault(thread, exc)
         thread.pc += 1
         return MEM_COST + self._page_event_cost[proc.vmstat.touch_addr(addr)]
 
     def _op_loadb(self, thread: "Thread", insn: Insn) -> int:
         proc = thread.process
         addr = (thread.regs[insn.b] + insn.c) & MASK64
-        thread.regs[insn.a] = proc.mem.load_byte(addr)
+        try:
+            thread.regs[insn.a] = proc.mem.load_byte(addr)
+        except MachineFault as exc:
+            self._spec_mem_fault(thread, exc)
         thread.pc += 1
         return MEM_COST + self._page_event_cost[proc.vmstat.touch_addr(addr)]
 
     def _op_storeb(self, thread: "Thread", insn: Insn) -> int:
         proc = thread.process
         addr = (thread.regs[insn.b] + insn.c) & MASK64
-        proc.mem.store_byte(addr, thread.regs[insn.a])
+        try:
+            proc.mem.store_byte(addr, thread.regs[insn.a])
+        except MachineFault as exc:
+            self._spec_mem_fault(thread, exc)
         thread.pc += 1
         return MEM_COST + self._page_event_cost[proc.vmstat.touch_addr(addr)]
+
+    @staticmethod
+    def _spec_mem_fault(thread: "Thread", exc: MachineFault) -> None:
+        """A plain load/store faulted.  On the speculating thread (possible
+        once static analysis elides COW wrappers) the fault becomes a
+        speculation signal; normal execution re-raises the machine fault."""
+        if thread.is_spec:
+            raise SpeculationFault(f"speculative memory fault: {exc}") from exc
+        raise exc
 
     # -- control --------------------------------------------------------------------
 

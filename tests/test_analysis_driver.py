@@ -1,0 +1,272 @@
+"""Tests for the analysis driver: classification, reachability, lint,
+elision planning, and the per-app expectations the CI lint gate relies on.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    StoreClass,
+    TransferKind,
+    analyze_binary,
+    build_safe_fixture,
+    build_unsafe_fixture,
+)
+from repro.analysis.driver import CheckCosts, check_costs, spec_roots
+from repro.apps import agrep as agrep_mod
+from repro.apps import gnuld as gnuld_mod
+from repro.apps import postgres as postgres_mod
+from repro.apps import xdataslice as xds_mod
+from repro.errors import AnalysisError
+from repro.fs.filesystem import FileSystem
+from repro.harness.runner import _BUILDERS
+from repro.params import SpecHintParams
+from repro.spechint.tool import SpecHintTool
+from repro.vm.assembler import Assembler
+from repro.vm.isa import SYS_EXIT, SYS_READ, Reg
+from repro.vm.memory import SPEC_HEAP_BASE
+
+SCALE = 0.3
+
+_EXPECTATIONS = {
+    "agrep": agrep_mod.ANALYSIS_EXPECTATIONS,
+    "gnuld": gnuld_mod.ANALYSIS_EXPECTATIONS,
+    "xds": xds_mod.ANALYSIS_EXPECTATIONS,
+    "postgres20": postgres_mod.ANALYSIS_EXPECTATIONS,
+}
+
+
+def _app_analysis(app):
+    binary = _BUILDERS[app](FileSystem(), SCALE, False)
+    return analyze_binary(binary)
+
+
+class TestCheckCosts:
+    def test_plain_costs(self):
+        params = SpecHintParams()
+        costs = check_costs(params, optimized_stdlib=False)
+        assert costs == CheckCosts(params.cow_load_check_cycles,
+                                   params.cow_store_check_cycles)
+
+    def test_optimized_stdlib_divisor(self):
+        params = SpecHintParams()
+        costs = check_costs(params, optimized_stdlib=True)
+        divisor = max(1, params.optimized_stdlib_check_divisor)
+        assert costs.load == max(1, params.cow_load_check_cycles // divisor)
+        assert costs.store == max(1, params.cow_store_check_cycles // divisor)
+
+
+class TestTransferClassification:
+    def test_resolved_return_unmappable_unknown(self):
+        asm = Assembler("transfers")
+        asm.data_word("slot")
+        asm.entry("main")
+        with asm.function("callee"):
+            asm.ret()                              # 1: jr ra -> RETURN
+        with asm.function("main"):
+            asm.la(Reg.t0, "callee")
+            asm.callr(Reg.t0)                      # RESOLVED
+            asm.li(Reg.t1, 3)
+            asm.blt(Reg.zero, Reg.a0, "skip_bad")
+            asm.jr(Reg.t1)                         # UNMAPPABLE (3 not entry)
+            asm.label("skip_bad")
+            asm.la(Reg.t2, "slot")
+            asm.load(Reg.t3, Reg.t2, 0)
+            asm.blt(Reg.zero, Reg.a1, "skip_unk")
+            asm.jr(Reg.t3)                         # UNKNOWN (loaded value)
+            asm.label("skip_unk")
+            asm.syscall(SYS_EXIT)
+        binary = asm.finish()
+        analysis = analyze_binary(binary)
+        kinds = sorted(t.kind.value for t in analysis.transfers.values())
+        assert analysis.transfer_count(TransferKind.RESOLVED) == 1
+        assert analysis.transfer_count(TransferKind.RETURN) == 1
+        assert analysis.transfer_count(TransferKind.UNMAPPABLE) == 1
+        assert analysis.transfer_count(TransferKind.UNKNOWN) == 1
+        assert len(kinds) == 4
+        resolved = [t for t in analysis.transfers.values()
+                    if t.kind is TransferKind.RESOLVED]
+        assert resolved[0].target == binary.functions[0].entry
+
+    def test_jump_table_kinds(self):
+        asm = Assembler("tables")
+        asm.entry("main")
+        with asm.function("main"):
+            good = asm.jump_table(["c0", "c1"])
+            weird = asm.jump_table(["c0"], recognized=False)
+            asm.li(Reg.t0, 0)
+            asm.switch(Reg.t0, good)        # TABLE_STATIC
+            asm.label("c0")
+            asm.switch(Reg.t0, weird)       # TABLE_UNMAPPABLE (c0 mid-func)
+            asm.label("c1")
+            asm.syscall(SYS_EXIT)
+        binary = asm.finish()
+        analysis = analyze_binary(binary)
+        assert analysis.transfer_count(TransferKind.TABLE_STATIC) == 1
+        assert analysis.transfer_count(TransferKind.TABLE_UNMAPPABLE) == 1
+
+
+class TestSpecReachability:
+    def _binary(self):
+        asm = Assembler("reach")
+        asm.data_space("buf", 64)
+        asm.entry("main")
+        with asm.function("emit", output_routine=True):
+            asm.ret()
+        with asm.function("main"):
+            asm.li(Reg.t0, 1)               # before read: unreachable
+            asm.li(Reg.a0, 0)
+            asm.la(Reg.a1, "buf")
+            asm.li(Reg.a2, 64)
+            asm.syscall(SYS_READ)
+            asm.li(Reg.t1, 2)               # root
+            asm.call("emit")                # output call: not followed
+            asm.li(Reg.a0, 0)
+            asm.syscall(SYS_EXIT)
+        return asm.finish()
+
+    def test_roots_follow_blocking_reads(self):
+        binary = self._binary()
+        roots = spec_roots(binary)
+        (read_index,) = [
+            i for i, insn in enumerate(binary.text)
+            if insn.op.name == "SYSCALL" and insn.c == SYS_READ
+        ]
+        assert roots == frozenset({read_index + 1})
+
+    def test_code_before_read_is_dead(self):
+        binary = self._binary()
+        analysis = analyze_binary(binary)
+        main = [f for f in binary.functions if f.name == "main"][0]
+        assert main.entry not in analysis.spec_reachable
+        assert min(analysis.spec_roots) in analysis.spec_reachable
+
+    def test_output_routine_body_not_entered(self):
+        binary = self._binary()
+        analysis = analyze_binary(binary)
+        emit = [f for f in binary.functions if f.name == "emit"][0]
+        assert all(i not in analysis.spec_reachable
+                   for i in range(emit.entry, emit.end))
+
+
+class TestStoreClassification:
+    def test_data_store_may_escape_and_heap_store_local(self):
+        asm = Assembler("stores")
+        asm.data_word("cell")
+        asm.entry("main")
+        with asm.function("main"):
+            asm.la(Reg.t0, "cell")
+            asm.store(Reg.t1, Reg.t0, 0)               # MAY_ESCAPE
+            asm.li(Reg.t2, SPEC_HEAP_BASE)
+            asm.store(Reg.t1, Reg.t2, 8)               # SPEC_LOCAL (heap)
+            asm.push(Reg.t1)                           # SPEC_LOCAL (stack meta)
+            asm.load(Reg.t3, Reg.t0, 0)
+            asm.store(Reg.t1, Reg.t3, 0)               # UNKNOWN (loaded ptr)
+            asm.syscall(SYS_EXIT)
+        binary = asm.finish()
+        analysis = analyze_binary(binary)
+        assert analysis.store_count(StoreClass.MAY_ESCAPE) == 1
+        assert analysis.store_count(StoreClass.SPEC_LOCAL) == 2
+        assert analysis.store_count(StoreClass.UNKNOWN) == 1
+
+
+class TestElisionPlan:
+    def test_map_all_addresses_empties_the_plan(self):
+        binary = _BUILDERS["agrep"](FileSystem(), SCALE, False)
+        analysis = analyze_binary(binary, map_all_addresses=True)
+        assert analysis.elision_plan.empty
+        assert analysis.check_cycles_baseline == analysis.check_cycles_optimized
+        # The report side is still fully populated.
+        assert analysis.summaries
+
+    def test_dead_code_dominates_plan_for_agrep(self):
+        analysis = _app_analysis("agrep")
+        plan = analysis.elision_plan
+        assert plan.dead
+        assert analysis.check_cycles_optimized < analysis.check_cycles_baseline
+        assert 0 < analysis.check_cycles_saved_pct <= 100
+
+    def test_transformed_binary_rejected(self):
+        binary = _BUILDERS["agrep"](FileSystem(), SCALE, False)
+        transformed = SpecHintTool().transform(binary)
+        with pytest.raises(AnalysisError):
+            analyze_binary(transformed)
+
+
+class TestAppExpectations:
+    """The numbers the CI analysis-lint gate and the PR claims rest on."""
+
+    @pytest.mark.parametrize("app", sorted(_EXPECTATIONS))
+    def test_matches_recorded_expectations(self, app):
+        analysis = _app_analysis(app)
+        expected = _EXPECTATIONS[app]
+        warnings = [f for f in analysis.lint if f.severity == "warning"]
+        assert analysis.wrapped_store_sites == expected["wrapped_stores"]
+        assert analysis.elidable_store_sites == expected["elidable_stores"]
+        assert len(analysis.elision_plan.resolved) == \
+            expected["resolved_transfers"]
+        assert len(analysis.lint_errors) == expected["lint_errors"]
+        assert len(warnings) == expected["lint_warnings"]
+
+    def test_acceptance_floor_two_apps_at_twenty_pct(self):
+        """The headline claim: >=20% of COW store wrappers elided on at
+        least two example applications."""
+        winners = 0
+        for app, expected in _EXPECTATIONS.items():
+            wrapped = expected["wrapped_stores"]
+            if wrapped and 100.0 * expected["elidable_stores"] / wrapped >= 20:
+                winners += 1
+        assert winners >= 2
+
+    def test_postgres_resolves_the_comparator_callr(self):
+        analysis = _app_analysis("postgres20")
+        (target,) = set(analysis.elision_plan.resolved.values())
+        func = analysis.binary.function_at_entry(target)
+        assert func is not None and func.name == "cmp_keys"
+
+
+class TestFixturesAndLint:
+    def test_unsafe_fixture_has_both_error_kinds(self):
+        analysis = analyze_binary(build_unsafe_fixture())
+        codes = sorted(f.code for f in analysis.lint_errors)
+        assert codes == ["unknown-syscall", "unmappable-transfer"]
+        # Errors sort before warnings and formatting is stable.
+        assert analysis.lint[0].severity == "error"
+        assert analysis.lint[0].format().startswith("error: [")
+
+    def test_safe_fixture_lints_clean(self):
+        analysis = analyze_binary(build_safe_fixture())
+        assert analysis.lint_errors == []
+
+    def test_falls_off_end_warning(self):
+        asm = Assembler("off-end")
+        asm.data_space("buf", 8)
+        asm.entry("main")
+        with asm.function("broken"):
+            asm.li(Reg.t0, 1)               # falls into main
+        with asm.function("main"):
+            asm.li(Reg.a0, 0)
+            asm.syscall(SYS_EXIT)
+        binary = asm.finish()
+        analysis = analyze_binary(binary)
+        assert any(f.code == "falls-off-end" and f.function == "broken"
+                   for f in analysis.lint)
+
+    def test_jsonable_report_round_trips(self):
+        analysis = _app_analysis("agrep")
+        payload = json.loads(json.dumps(analysis.to_jsonable()))
+        assert payload["binary"] == "agrep"
+        assert payload["elision"]["wrapped_stores"] == \
+            analysis.wrapped_store_sites
+        assert payload["check_cycles"]["baseline"] == \
+            analysis.check_cycles_baseline
+        assert {f["name"] for f in payload["functions"]} == \
+            set(analysis.cfgs)
+
+    def test_text_report_mentions_key_lines(self):
+        analysis = _app_analysis("postgres20")
+        text = analysis.format_text()
+        assert text.startswith(f"analysis of {analysis.binary_name}")
+        assert "COW store wrappers elidable" in text
+        assert "resolved @" in text  # the cmp_keys callr line
