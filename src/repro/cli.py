@@ -23,6 +23,13 @@ Commands
     Regenerate one of the paper's sweep experiments (Figure 5 / Table 7 /
     Figure 6) and print the series.
 
+``trace APP [--categories C,...] [--export {jsonl,chrome}] [--out PATH]
+[--summary] [--top-hints N]``
+    Run one benchmark under the event tracer and export / summarize the
+    trace: stall breakdown, hint lead times, prefetch readiness, per-disk
+    utilization.  ``--export chrome`` writes a Chrome ``trace_event``
+    file that loads directly into Perfetto (https://ui.perfetto.dev).
+
 ``paper``
     Print the paper's published reference numbers.
 """
@@ -71,7 +78,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     if getattr(args, "oracle", False):
         return _run_oracle(args)
     cfg = _base_config(args).with_(variant=Variant(args.variant))
-    result = run_experiment(cfg)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro.sim.clock import SimClock
+        from repro.trace import Tracer, export_to_path
+
+        tracer = Tracer(SimClock())
+        result = run_experiment(cfg, tracer=tracer)
+        export_to_path(tracer, trace_out, "jsonl")
+        print(f"trace written to {trace_out} ({len(tracer):,} events)")
+    else:
+        result = run_experiment(cfg)
     print(result.summary())
     print(f"  elapsed:          {result.elapsed_s:.3f} s simulated")
     print(f"  reads:            {result.read_calls} calls, "
@@ -124,6 +141,7 @@ def _run_oracle(args: argparse.Namespace) -> int:
         workload_scale=args.scale,
         fault_seed=getattr(args, "fault_seed", 7),
         system=system,
+        trace_dir=getattr(args, "trace_out", None),
     )
     for cell in report.cells:
         verdict = "ok" if cell.passed else "MISMATCH"
@@ -289,6 +307,67 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace APP``: run under the tracer, export and summarize.
+
+    The tracer only reads the simulation clock, so the traced run's
+    cycle count is identical to an untraced run of the same
+    configuration — what it shows is what an ordinary run does.
+    """
+    from repro.harness.runner import run_experiment_with_system
+    from repro.sim.clock import SimClock
+    from repro.trace import (
+        TraceAnalyzer,
+        Tracer,
+        export_to_path,
+        parse_categories,
+        stall_breakdown,
+    )
+
+    categories = (
+        parse_categories(args.categories) if args.categories else None
+    )
+    tracer = Tracer(SimClock(), categories=categories)
+    cfg = _base_config(args).with_(variant=Variant(args.variant))
+    result, system = run_experiment_with_system(cfg, tracer=tracer)
+
+    analyzer = TraceAnalyzer(
+        tracer,
+        lifecycle=getattr(system.manager, "lifecycle", None),
+        breakdown=stall_breakdown(system.kernel),
+    )
+
+    out = args.out
+    if out is None:
+        suffix = "json" if args.export == "chrome" else "jsonl"
+        out = f"trace-{args.app}-{args.variant}.{suffix}"
+    export_to_path(tracer, out, args.export)
+    print(f"{result.summary()}")
+    print(f"trace written to {out} ({len(tracer):,} events, "
+          f"{tracer.dropped:,} dropped)")
+    if args.export == "chrome":
+        print("  open in Perfetto: https://ui.perfetto.dev -> Open trace file")
+
+    if args.summary:
+        print()
+        print(analyzer.render_summary())
+
+    if args.top_hints:
+        records = analyzer.top_hints(args.top_hints)
+        if records:
+            print(f"\ntop {len(records)} hints by lead time:")
+            print(f"  {'seq':>6} {'ino':>5} {'block':>7} {'lead cycles':>12} "
+                  f"{'ready':>6}")
+            for record in records:
+                print(f"  {record.seq:>6} {record.key[0]:>5} "
+                      f"{record.key[1]:>7} {record.lead_cycles:>12,} "
+                      f"{'yes' if record.ready_before_demand else 'no':>6}")
+        else:
+            print("\nno consumed hints recorded "
+                  "(original variant, or hint categories filtered out)")
+    return 0
+
+
 def cmd_paper(args: argparse.Namespace) -> int:
     print("Published results (Chang & Gibson, OSDI 1999):")
     print("\nFigure 3 - % improvement (speculating / manual):")
@@ -338,6 +417,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--oracle-report", default=None, metavar="PATH",
                        dest="oracle_report",
                        help="write the oracle's JSON report to PATH")
+    run_p.add_argument("--trace-out", default=None, metavar="PATH",
+                       dest="trace_out",
+                       help="with --oracle: directory for JSONL trace dumps "
+                            "of any diverging cell (both variants); without: "
+                            "write this run's full JSONL trace to PATH")
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="compare all variants")
@@ -382,6 +466,33 @@ def build_parser() -> argparse.ArgumentParser:
                       help="restore completed cells from --checkpoint "
                            "instead of re-running them")
     sw_p.set_defaults(func=cmd_sweep)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one benchmark under the event tracer and export/summarize",
+    )
+    common(trace_p)
+    trace_p.add_argument("--variant", default="speculating",
+                         choices=[v.value for v in Variant])
+    trace_p.add_argument("--categories", default=None, metavar="C,...",
+                         help="record only these categories "
+                              "(kernel, sched, spec, hint, tip, cache, "
+                              "storage); default: all")
+    trace_p.add_argument("--export", default="jsonl",
+                         choices=("jsonl", "chrome"),
+                         help="output format: one JSON object per event, or "
+                              "a Chrome trace_event file for Perfetto")
+    trace_p.add_argument("--out", default=None, metavar="PATH",
+                         help="output path (default: "
+                              "trace-<app>-<variant>.<ext>)")
+    trace_p.add_argument("--summary", action="store_true",
+                         help="print the stall breakdown, hint lead times, "
+                              "prefetch readiness and disk utilization")
+    trace_p.add_argument("--top-hints", type=int, default=0, metavar="N",
+                         dest="top_hints",
+                         help="list the N consumed hints with the longest "
+                              "lead times")
+    trace_p.set_defaults(func=cmd_trace)
 
     pp_p = sub.add_parser("paper", help="print the paper's numbers")
     pp_p.set_defaults(func=cmd_paper)

@@ -203,3 +203,17 @@ class OracleMismatch(HarnessError):
 
 class CheckpointError(HarnessError):
     """A harness checkpoint file is missing, corrupt, or incompatible."""
+
+
+# ---------------------------------------------------------------------------
+# Tracing / observability
+# ---------------------------------------------------------------------------
+
+class TraceError(ReproError):
+    """Invalid tracing configuration or export request.
+
+    Raised for unknown trace categories, unwritable export targets, and
+    malformed analyzer queries.  Never raised from the recording hot path:
+    a tracer that could fail mid-run would violate the zero-perturbation
+    guarantee, so recording is infallible by construction.
+    """

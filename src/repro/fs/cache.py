@@ -17,6 +17,7 @@ import enum
 from collections import OrderedDict
 from typing import Dict, Iterator, Optional, Tuple
 
+from repro.sim import metrics
 from repro.sim.stats import StatRegistry
 
 BlockKey = Tuple[int, int]  # (ino, file_block)
@@ -122,13 +123,13 @@ class BlockCache:
         fetches may overcommit, which is recorded but allowed.
         """
         if len(self._entries) >= self.capacity:
-            self.stats.counter("cache.overcommitted_inserts").add()
+            self.stats.counter(metrics.CACHE_OVERCOMMITTED_INSERTS).add()
         entry = CacheEntry(key, origin)
         entry.pinned += 1  # in-flight blocks are not evictable
         self._entries[key] = entry
         self._entries.move_to_end(key)
         if origin.is_prefetch:
-            self.stats.counter("cache.prefetched_blocks").add()
+            self.stats.counter(metrics.CACHE_PREFETCHED_BLOCKS).add()
         return entry
 
     def mark_valid(self, key: BlockKey) -> Optional[CacheEntry]:
@@ -143,7 +144,7 @@ class BlockCache:
         if entry.origin.is_prefetch:
             if entry.demand_waiters > 0:
                 # The application blocked on this block mid-prefetch.
-                self.stats.counter("cache.prefetched_partial").add()
+                self.stats.counter(metrics.CACHE_PREFETCHED_PARTIAL).add()
             else:
                 entry.arrived_clean = True
         return entry
@@ -159,7 +160,7 @@ class BlockCache:
         if entry is None or entry.state is not EntryState.FETCHING:
             return None
         del self._entries[key]
-        self.stats.counter("cache.fetch_failures").add()
+        self.stats.counter(metrics.CACHE_FETCH_FAILURES).add()
         return entry
 
     def note_access(self, key: BlockKey) -> CacheEntry:
@@ -170,11 +171,11 @@ class BlockCache:
         if entry.arrived_clean:
             # First request of a prefetch that had fully completed.
             entry.arrived_clean = False
-            self.stats.counter("cache.prefetched_fully").add()
+            self.stats.counter(metrics.CACHE_PREFETCHED_FULLY).add()
         if entry.access_count > 1:
-            self.stats.counter("cache.block_reuses").add()
+            self.stats.counter(metrics.CACHE_BLOCK_REUSES).add()
         self._entries.move_to_end(key)
-        self.stats.counter("cache.block_reads").add()
+        self.stats.counter(metrics.CACHE_BLOCK_READS).add()
         return entry
 
     def pin(self, key: BlockKey) -> None:
@@ -190,7 +191,7 @@ class BlockCache:
         """Remove a VALID, unpinned entry; accounts unused prefetches."""
         entry = self._entries.pop(key)
         self._account_departure(entry)
-        self.stats.counter("cache.evictions").add()
+        self.stats.counter(metrics.CACHE_EVICTIONS).add()
 
     def find_lru_victim(self) -> Optional[CacheEntry]:
         """Least recently used VALID, unpinned entry, or None."""
@@ -213,4 +214,4 @@ class BlockCache:
 
     def _account_departure(self, entry: CacheEntry) -> None:
         if entry.origin.is_prefetch and not entry.accessed:
-            self.stats.counter("cache.prefetched_unused").add()
+            self.stats.counter(metrics.CACHE_PREFETCHED_UNUSED).add()

@@ -19,6 +19,7 @@ from repro.errors import RetriesExhausted
 from repro.fs.cache import BlockCache, BlockKey, CacheEntry, EntryState, FetchOrigin
 from repro.fs.filesystem import FileSystem, Inode
 from repro.fs.readahead import ReadAheadState, SequentialReadAhead
+from repro.sim import metrics
 from repro.sim.stats import StatRegistry
 from repro.storage.request import IOKind, IORequest
 from repro.storage.striping import StripedArray
@@ -68,7 +69,7 @@ class CacheManagerBase:
                 on_ready()
 
             self.array.submit(inode.lbn_of_block(file_block), IOKind.DEMAND, joined)
-            self.stats.counter("cache.demand_joins_inflight").add()
+            self.stats.counter(metrics.CACHE_DEMAND_JOINS_INFLIGHT).add()
             return False
 
         # Full miss: bring the block in at demand priority.
@@ -76,7 +77,7 @@ class CacheManagerBase:
         entry = self.cache.insert_fetching(key, FetchOrigin.DEMAND)
         entry.demand_waiters += 1
         self.cache.note_access(key)
-        self.stats.counter("cache.demand_misses").add()
+        self.stats.counter(metrics.CACHE_DEMAND_MISSES).add()
 
         def completed(req: IORequest) -> None:
             self._check_demand_failure(req)
@@ -134,7 +135,7 @@ class CacheManagerBase:
         if self.cache.get(key) is not None:
             return False
         if self.cache.free_blocks == 0 and not self._evict_one_for_prefetch():
-            self.stats.counter("cache.prefetch_denied_no_room").add()
+            self.stats.counter(metrics.CACHE_PREFETCH_DENIED_NO_ROOM).add()
             return False
         self.cache.insert_fetching(key, origin)
 
@@ -144,7 +145,7 @@ class CacheManagerBase:
                 # demand access simply misses — the unhinted baseline, never
                 # an error surfaced to the application.
                 self.cache.discard_fetching(key)
-                self.stats.counter("cache.prefetches_dropped").add()
+                self.stats.counter(metrics.CACHE_PREFETCHES_DROPPED).add()
                 self.on_prefetch_dropped(key)
                 return
             self.cache.mark_valid(key)

@@ -21,6 +21,7 @@ subset on every push.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -30,6 +31,9 @@ from repro.harness.config import ExperimentConfig, Variant
 from repro.harness.results import RunResult
 from repro.harness.runner import run_experiment
 from repro.params import SystemConfig
+from repro.sim.clock import SimClock
+from repro.trace.export import export_to_path
+from repro.trace.tracer import Tracer
 
 #: Chaos profiles the full oracle sweeps (None = fault-free baseline).
 ORACLE_PROFILES: Tuple[Optional[str], ...] = (None,) + tuple(
@@ -122,6 +126,7 @@ def run_oracle_cell(
     fault_seed: int = 7,
     system: Optional[SystemConfig] = None,
     analysis_optimize: bool = False,
+    trace_dir: Optional[str] = None,
 ) -> OracleCell:
     """Differential run of one app under one chaos profile.
 
@@ -130,6 +135,14 @@ def run_oracle_cell(
     (``analysis_optimize`` additionally applies the static-analysis
     elision plan to the transformed side).  Returns the cell; never raises
     — the caller decides whether a failure is fatal.
+
+    With ``trace_dir`` set, both variants run under a tracer and a
+    *diverging* cell dumps both event streams as JSONL to
+    ``trace_dir/<app>-<profile>-<variant>.jsonl`` — the first question
+    about any divergence is "what did the two runs actually do", and the
+    traces answer it without a re-run.  Tracing cannot mask the bug being
+    hunted: the tracer only reads the clock, so traced runs are
+    cycle-identical to untraced ones.
     """
     base = ExperimentConfig(
         app=app,
@@ -139,8 +152,21 @@ def run_oracle_cell(
         fault_seed=fault_seed,
         analysis_optimize=analysis_optimize,
     )
-    original = run_experiment(base.with_(variant=Variant.ORIGINAL))
-    speculating = run_experiment(base.with_(variant=Variant.SPECULATING))
+    tracers: Dict[Variant, Tracer] = {}
+    if trace_dir is not None:
+        # Only pass the tracer kwarg when actually tracing: tests stub
+        # run_experiment with plain (cfg)-signature fakes.
+        tracers = {
+            Variant.ORIGINAL: Tracer(SimClock()),
+            Variant.SPECULATING: Tracer(SimClock()),
+        }
+        original = run_experiment(base.with_(variant=Variant.ORIGINAL),
+                                  tracer=tracers[Variant.ORIGINAL])
+        speculating = run_experiment(base.with_(variant=Variant.SPECULATING),
+                                     tracer=tracers[Variant.SPECULATING])
+    else:
+        original = run_experiment(base.with_(variant=Variant.ORIGINAL))
+        speculating = run_experiment(base.with_(variant=Variant.SPECULATING))
 
     cell = OracleCell(app=app, profile=profile, passed=True,
                       original=original, speculating=speculating)
@@ -151,6 +177,13 @@ def run_oracle_cell(
         cell.passed = False
         cell.detail = _first_trace_diff(original.read_trace,
                                         speculating.read_trace)
+    if trace_dir is not None and not cell.passed:
+        os.makedirs(trace_dir, exist_ok=True)
+        stem = f"{app}-{cell.profile_name}"
+        for variant, tracer in tracers.items():
+            path = os.path.join(trace_dir, f"{stem}-{variant.value}.jsonl")
+            export_to_path(tracer, path, "jsonl")
+        cell.detail += f" [traces in {trace_dir}/{stem}-*.jsonl]"
     return cell
 
 
@@ -162,12 +195,14 @@ def run_oracle(
     system: Optional[SystemConfig] = None,
     strict: bool = False,
     analysis_optimize: bool = False,
+    trace_dir: Optional[str] = None,
 ) -> OracleReport:
     """Differential oracle over an app x chaos-profile grid.
 
     With ``strict`` set, the first divergence raises
     :class:`OracleMismatch`; otherwise every cell is collected into the
-    report for the caller to inspect.
+    report for the caller to inspect.  ``trace_dir`` enables per-cell
+    divergence trace dumps (see :func:`run_oracle_cell`).
     """
     report = OracleReport()
     for app in apps:
@@ -176,6 +211,7 @@ def run_oracle(
                 app, profile, workload_scale=workload_scale,
                 fault_seed=fault_seed, system=system,
                 analysis_optimize=analysis_optimize,
+                trace_dir=trace_dir,
             )
             report.cells.append(cell)
             if strict and not cell.passed:

@@ -6,6 +6,8 @@ import base64
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.sim import metrics
+
 
 @dataclass
 class RunResult:
@@ -53,6 +55,16 @@ class RunResult:
     audit_records: int = 0
     audit_head_digest: str = ""
 
+    #: Wall-time phase attribution (repro.trace.phases.StallBreakdown as a
+    #: jsonable dict): compute / checks / demand_stall / speculation / other.
+    stall_breakdown: Dict[str, int] = field(default_factory=dict)
+    #: Hint-lifecycle ledger: disclosed / consumed / cancelled / wasted / open.
+    hint_lifecycle: Dict[str, int] = field(default_factory=dict)
+    #: Median disclosure-to-consumption lead time (cycles).
+    hint_lead_median: float = 0.0
+    #: % of consumed hints whose prefetch had landed before the demand read.
+    pct_prefetches_before_demand: float = 0.0
+
     # -- elapsed time ---------------------------------------------------------
 
     @property
@@ -75,39 +87,39 @@ class RunResult:
 
     @property
     def read_calls(self) -> int:
-        return self.c("app.read_calls")
+        return self.c(metrics.APP_READ_CALLS)
 
     @property
     def read_blocks(self) -> int:
-        return self.c("app.read_blocks")
+        return self.c(metrics.APP_READ_BLOCKS)
 
     @property
     def read_bytes(self) -> int:
-        return self.c("app.read_bytes")
+        return self.c(metrics.APP_READ_BYTES)
 
     @property
     def write_calls(self) -> int:
-        return self.c("app.write_calls")
+        return self.c(metrics.APP_WRITE_CALLS)
 
     @property
     def write_blocks(self) -> int:
-        return self.c("app.write_blocks")
+        return self.c(metrics.APP_WRITE_BLOCKS)
 
     @property
     def write_bytes(self) -> int:
-        return self.c("app.write_bytes")
+        return self.c(metrics.APP_WRITE_BYTES)
 
     @property
     def hinted_read_calls(self) -> int:
-        return self.c("tip.hinted_read_calls")
+        return self.c(metrics.TIP_HINTED_READ_CALLS)
 
     @property
     def hinted_read_bytes(self) -> int:
-        return self.c("tip.hinted_read_bytes")
+        return self.c(metrics.TIP_HINTED_READ_BYTES)
 
     @property
     def hinted_blocks_consumed(self) -> int:
-        return self.c("tip.hints_consumed")
+        return self.c(metrics.TIP_HINTS_CONSUMED)
 
     @property
     def pct_calls_hinted(self) -> float:
@@ -128,36 +140,36 @@ class RunResult:
         """Hints issued that never matched a read (cancelled + stale +
         unconsumed at the end of the run)."""
         return (
-            self.c("tip.hints_cancelled")
-            + self.c("tip.hints_stale_dropped")
-            + self.c("tip.hints_unconsumed_at_end")
+            self.c(metrics.TIP_HINTS_CANCELLED)
+            + self.c(metrics.TIP_HINTS_STALE_DROPPED)
+            + self.c(metrics.TIP_HINTS_UNCONSUMED_AT_END)
         )
 
     # Table 5 -------------------------------------------------------------------
 
     @property
     def cache_block_reads(self) -> int:
-        return self.c("cache.block_reads")
+        return self.c(metrics.CACHE_BLOCK_READS)
 
     @property
     def prefetched_blocks(self) -> int:
-        return self.c("cache.prefetched_blocks")
+        return self.c(metrics.CACHE_PREFETCHED_BLOCKS)
 
     @property
     def prefetched_fully(self) -> int:
-        return self.c("cache.prefetched_fully")
+        return self.c(metrics.CACHE_PREFETCHED_FULLY)
 
     @property
     def prefetched_partially(self) -> int:
-        return self.c("cache.prefetched_partial")
+        return self.c(metrics.CACHE_PREFETCHED_PARTIAL)
 
     @property
     def prefetched_unused(self) -> int:
-        return self.c("cache.prefetched_unused")
+        return self.c(metrics.CACHE_PREFETCHED_UNUSED)
 
     @property
     def cache_block_reuses(self) -> int:
-        return self.c("cache.block_reuses")
+        return self.c(metrics.CACHE_BLOCK_REUSES)
 
     # Fault injection / degraded mode ------------------------------------------
 
@@ -189,15 +201,15 @@ class RunResult:
 
     @property
     def io_retries(self) -> int:
-        return self.c("array.retries")
+        return self.c(metrics.ARRAY_RETRIES)
 
     @property
     def io_timeouts(self) -> int:
-        return self.c("array.timeouts")
+        return self.c(metrics.ARRAY_TIMEOUTS)
 
     @property
     def prefetches_dropped(self) -> int:
-        return self.c("cache.prefetches_dropped")
+        return self.c(metrics.CACHE_PREFETCHES_DROPPED)
 
     # Section 4.4 dilation ------------------------------------------------------
 
@@ -250,6 +262,10 @@ class RunResult:
             "quarantine_permanent": self.quarantine_permanent,
             "audit_records": self.audit_records,
             "audit_head_digest": self.audit_head_digest,
+            "stall_breakdown": dict(self.stall_breakdown),
+            "hint_lifecycle": dict(self.hint_lifecycle),
+            "hint_lead_median": self.hint_lead_median,
+            "pct_prefetches_before_demand": self.pct_prefetches_before_demand,
         }
 
     @classmethod
@@ -287,6 +303,18 @@ class RunResult:
         result.quarantine_permanent = bool(data.get("quarantine_permanent", False))
         result.audit_records = int(data.get("audit_records", 0))  # type: ignore[arg-type]
         result.audit_head_digest = str(data.get("audit_head_digest", ""))
+        result.stall_breakdown = {
+            str(k): int(v)  # type: ignore[call-overload]
+            for k, v in dict(data.get("stall_breakdown", {})).items()
+        }
+        result.hint_lifecycle = {
+            str(k): int(v)  # type: ignore[call-overload]
+            for k, v in dict(data.get("hint_lifecycle", {})).items()
+        }
+        result.hint_lead_median = float(data.get("hint_lead_median", 0.0))  # type: ignore[arg-type]
+        result.pct_prefetches_before_demand = float(
+            data.get("pct_prefetches_before_demand", 0.0)  # type: ignore[arg-type]
+        )
         return result
 
 

@@ -17,12 +17,15 @@ from repro.harness.config import ExperimentConfig, Variant
 from repro.harness.results import RunResult, median_interval
 from repro.kernel.kernel import Kernel
 from repro.params import SystemConfig
+from repro.sim import metrics
 from repro.sim.clock import SimClock
 from repro.sim.engine import EventEngine
 from repro.sim.stats import StatRegistry
 from repro.spechint.tool import SpecHintTool
 from repro.storage.striping import StripedArray
 from repro.tip.manager import TipManager
+from repro.trace.phases import stall_breakdown
+from repro.trace.tracer import NULL_TRACER, Tracer
 from repro.vm.binary import Binary
 
 
@@ -40,12 +43,14 @@ class System:
     manager: TipManager
     kernel: Kernel
     injector: Optional[FaultInjector] = None
+    tracer: Tracer = NULL_TRACER
 
 
 def build_system(
     config: SystemConfig,
     fs: FileSystem,
     fault_plan: Optional[FaultPlan] = None,
+    tracer: Tracer = NULL_TRACER,
 ) -> System:
     """Wire up disks, striping, cache, TIP and the kernel over ``fs``.
 
@@ -53,25 +58,32 @@ def build_system(
     cover every allocated block).  With ``fault_plan`` set, one
     :class:`FaultInjector` is threaded through the storage stack and the
     kernel; without it the machine is bit-identical to the fault-free
-    simulator.
+    simulator.  A live ``tracer`` is bound to the run's clock and stat
+    registry and threaded through every layer; the default
+    :data:`NULL_TRACER` keeps the whole pipeline at one boolean test per
+    instrumentation site.
     """
     clock = SimClock()
     engine = EventEngine(clock)
     stats = StatRegistry()
+    if tracer.enabled:
+        tracer.bind_clock(clock)
+        tracer.attach_stats(stats)
     injector: Optional[FaultInjector] = None
     if fault_plan is not None and fault_plan.active:
         injector = FaultInjector(fault_plan, config.cpu, clock, stats)
     array = StripedArray(
         fs.total_blocks, config.array, config.disk, config.cpu, engine, stats,
-        injector=injector,
+        injector=injector, tracer=tracer,
     )
     cache = BlockCache(config.cache.capacity_blocks, stats)
     readahead = SequentialReadAhead(config.cache.max_readahead_blocks)
-    manager = TipManager(fs, array, cache, readahead, stats, config.tip)
+    manager = TipManager(fs, array, cache, readahead, stats, config.tip,
+                         tracer=tracer)
     kernel = Kernel(config, fs, manager, array, engine, clock, stats,
-                    injector=injector)
+                    injector=injector, tracer=tracer)
     return System(config, clock, engine, stats, fs, array, cache, manager,
-                  kernel, injector)
+                  kernel, injector, tracer)
 
 
 def _build_postgres(selectivity_pct: int):
@@ -100,8 +112,25 @@ _BUILDERS: Dict[str, Callable[[FileSystem, float, bool], Binary]] = {
 }
 
 
-def run_experiment(cfg: ExperimentConfig) -> RunResult:
+def run_experiment(
+    cfg: ExperimentConfig,
+    tracer: Tracer = NULL_TRACER,
+) -> RunResult:
     """Run one benchmark in one configuration; returns the result record."""
+    result, _ = run_experiment_with_system(cfg, tracer=tracer)
+    return result
+
+
+def run_experiment_with_system(
+    cfg: ExperimentConfig,
+    tracer: Tracer = NULL_TRACER,
+) -> "tuple[RunResult, System]":
+    """:func:`run_experiment`, but also hands back the wired system.
+
+    Trace consumers (the ``repro trace`` command, tests) need the live
+    objects — the hint-lifecycle ledger, the kernel — not just the result
+    record.
+    """
     system_config = cfg.resolved_system()
     fs = FileSystem(allocation_jitter_blocks=24, seed=system_config.seed)
     builder = _BUILDERS[cfg.app]
@@ -117,13 +146,14 @@ def run_experiment(cfg: ExperimentConfig) -> RunResult:
         binary = tool.transform(binary)
         transform_report = binary.spec_meta.report
 
-    system = build_system(system_config, fs, fault_plan=cfg.resolved_fault_plan())
+    system = build_system(system_config, fs, fault_plan=cfg.resolved_fault_plan(),
+                          tracer=tracer)
     process = system.kernel.spawn(binary)
     system.kernel.run()
     system.manager.finalize()
 
-    read_dist = system.stats.distribution_or_none("app.read_call_cpu")
-    hint_dist = system.stats.distribution_or_none("app.hint_call_cpu")
+    read_dist = system.stats.distribution_or_none(metrics.APP_READ_CALL_CPU)
+    hint_dist = system.stats.distribution_or_none(metrics.APP_HINT_CALL_CPU)
 
     result = RunResult(
         app=cfg.app,
@@ -141,6 +171,12 @@ def run_experiment(cfg: ExperimentConfig) -> RunResult:
     )
     result.fault_profile = cfg.fault_profile
     result.read_trace = tuple(process.read_trace)
+    result.stall_breakdown = stall_breakdown(system.kernel).to_jsonable()
+    lifecycle = getattr(system.manager, "lifecycle", None)
+    if lifecycle is not None:
+        result.hint_lifecycle = lifecycle.summary_counts()
+        result.hint_lead_median = lifecycle.lead_times.percentile(50.0)
+        result.pct_prefetches_before_demand = lifecycle.pct_ready_before_demand
     if process.spec is not None:
         result.spec_restarts = process.spec.restarts
         result.spec_signals = process.spec.signals
@@ -154,4 +190,4 @@ def run_experiment(cfg: ExperimentConfig) -> RunResult:
         if process.spec.auditor is not None:
             result.audit_records = process.spec.auditor.table.records_total
             result.audit_head_digest = process.spec.auditor.table.head_digest
-    return result
+    return result, system

@@ -21,10 +21,19 @@ from repro.fs.manager import CacheManagerBase
 from repro.kernel.process import Process
 from repro.kernel.thread import Thread, ThreadState
 from repro.params import BLOCK_SIZE, SystemConfig
+from repro.sim import metrics
 from repro.sim.clock import SimClock
 from repro.sim.engine import EventEngine
 from repro.sim.stats import StatRegistry
 from repro.storage.striping import StripedArray
+from repro.trace.tracer import (
+    CAT_KERNEL,
+    CAT_SCHED,
+    NULL_TRACER,
+    TID_ORIGINAL,
+    TID_SPECULATING,
+    Tracer,
+)
 from repro.tip.hints import HintSegment, Ioctl
 from repro.vm.isa import (
     SEEK_CUR,
@@ -57,6 +66,21 @@ A1 = int(Reg.a1)
 A2 = int(Reg.a2)
 A3 = int(Reg.a3)
 
+#: Syscall number -> trace-friendly name.
+SYSCALL_NAMES = {
+    SYS_EXIT: "exit",
+    SYS_OPEN: "open",
+    SYS_CLOSE: "close",
+    SYS_READ: "read",
+    SYS_WRITE: "write",
+    SYS_LSEEK: "lseek",
+    SYS_FSTAT: "fstat",
+    SYS_SBRK: "sbrk",
+    SYS_HINT_SEG: "hint_seg",
+    SYS_HINT_FD_SEG: "hint_fd_seg",
+    SYS_CANCEL_ALL: "cancel_all",
+}
+
 
 class Kernel:
     """Owns processes, the machine, and the system call table."""
@@ -71,6 +95,7 @@ class Kernel:
         clock: SimClock,
         stats: StatRegistry,
         injector: Optional["FaultInjector"] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.config = config
         self.fs = fs
@@ -81,6 +106,8 @@ class Kernel:
         self.stats = stats
         #: Fault oracle shared with the storage stack; None = fault-free.
         self.injector = injector
+        #: Event tracer (the shared NULL_TRACER when tracing is off).
+        self.tracer = tracer
         self.machine = Machine(self)
         self.processes: List[Process] = []
         self._next_pid = 1
@@ -131,7 +158,7 @@ class Kernel:
             self._run_mp(cycle_limit)
         else:
             self._run_up(cycle_limit)
-        self.stats.counter("kernel.runs").add()
+        self.stats.counter(metrics.KERNEL_RUNS).add()
 
     def _alive(self) -> bool:
         return any(not p.exited for p in self.processes)
@@ -206,6 +233,13 @@ class Kernel:
     def _charge_switch(self, thread: Thread) -> None:
         if self._last_thread is not thread and self._last_thread is not None:
             self.clock.advance(self.config.cpu.context_switch_cycles)
+            self.stats.counter(metrics.KERNEL_CONTEXT_SWITCHES).add()
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    CAT_SCHED, "ctx_switch",
+                    tid=TID_SPECULATING if thread.is_spec else TID_ORIGINAL,
+                    to_thread=thread.name,
+                )
         self._last_thread = thread
 
     # -- syscall dispatch ---------------------------------------------------------------
@@ -216,6 +250,12 @@ class Kernel:
         handler = self._syscalls.get(num)
         if handler is None:
             raise InvalidSyscall(f"syscall {num} at pc={thread.pc}")
+        if self.tracer.enabled:
+            self.tracer.instant(
+                CAT_KERNEL, f"sys.{SYSCALL_NAMES.get(num, num)}",
+                tid=TID_SPECULATING if thread.is_spec else TID_ORIGINAL,
+                pid=thread.process.pid,
+            )
         return handler(thread)
 
     def handle_exit(self, thread: Thread, code: int) -> int:
@@ -237,7 +277,7 @@ class Kernel:
         else:
             fdstate = proc.open_fd(inode, path)
             thread.regs[V0] = fdstate.fd
-        self.stats.counter("app.open_calls").add()
+        self.stats.counter(metrics.APP_OPEN_CALLS).add()
         thread.pc += 1
         return self.config.cpu.syscall_cycles + self.config.cpu.namei_cycles
 
@@ -259,9 +299,9 @@ class Kernel:
         buf = thread.regs[A1]
         length = thread.regs[A2]
         cost = cpu.syscall_cycles
-        self.stats.counter("app.read_calls").add()
+        self.stats.counter(metrics.APP_READ_CALLS).add()
         if not thread.is_spec:
-            self.stats.distribution("app.read_call_cpu").observe(thread.cpu_cycles)
+            self.stats.distribution(metrics.APP_READ_CALL_CPU).observe(thread.cpu_cycles)
 
         # SpecHint hook: the original thread of a transformed application
         # checks the hint log (and may request a speculation restart)
@@ -291,8 +331,8 @@ class Kernel:
 
         first = offset // BLOCK_SIZE
         last = (offset + n - 1) // BLOCK_SIZE
-        self.stats.counter("app.read_blocks").add(last - first + 1)
-        self.stats.counter("app.read_bytes").add(n)
+        self.stats.counter(metrics.APP_READ_BLOCKS).add(last - first + 1)
+        self.stats.counter(metrics.APP_READ_BYTES).add(n)
         hinted = self.manager.consume_hints(proc.pid, inode, first, last, offset, n)
         copy_cost = int(n * cpu.read_copy_cycles_per_byte)
 
@@ -312,6 +352,15 @@ class Kernel:
         def on_ready() -> None:
             thread.pending_io -= 1
             if thread.pending_io == 0:
+                if not thread.is_spec:
+                    stall = self.clock.now - thread.blocked_at
+                    self.stats.counter(metrics.KERNEL_DEMAND_STALL_CYCLES).add(stall)
+                    self.stats.distribution(metrics.KERNEL_STALL_CYCLES).observe(stall)
+                    if self.tracer.enabled:
+                        self.tracer.complete(
+                            CAT_KERNEL, "read.stall", thread.blocked_at, stall,
+                            tid=TID_ORIGINAL, pid=proc.pid, ino=inode.ino,
+                        )
                 finish()
                 thread.wake(extra_cost=copy_cost)
 
@@ -324,11 +373,13 @@ class Kernel:
             finish()
             return cost + copy_cost
 
-        self.stats.counter("app.read_stalls").add()
+        self.stats.counter(metrics.APP_READ_STALLS).add()
         thread.block()
         thread.stop_reason = "blocked"
         thread.cpu_cycles += cost
         self.clock.advance(cost)
+        # The stall interval starts once the syscall's own CPU cost is paid.
+        thread.blocked_at = self.clock.now
         return _STOPPED
 
     def _sys_write(self, thread: Thread) -> int:
@@ -339,14 +390,14 @@ class Kernel:
         length = thread.regs[A2]
         payload = proc.mem.read_bytes(buf, length)
         fdstate = proc.fd(fd_num)
-        self.stats.counter("app.write_calls").add()
-        self.stats.counter("app.write_bytes").add(length)
+        self.stats.counter(metrics.APP_WRITE_CALLS).add()
+        self.stats.counter(metrics.APP_WRITE_BYTES).add(length)
         if fdstate.inode is None:
             proc.output.extend(payload)
         else:
             start_block = fdstate.offset // BLOCK_SIZE
             end_block = (fdstate.offset + max(0, length - 1)) // BLOCK_SIZE
-            self.stats.counter("app.write_blocks").add(end_block - start_block + 1)
+            self.stats.counter(metrics.APP_WRITE_BLOCKS).add(end_block - start_block + 1)
             fdstate.inode.write_at(fdstate.offset, payload)
             fdstate.offset += length
         thread.regs[V0] = length
@@ -407,9 +458,9 @@ class Kernel:
         reach the manager.  Hints are pure advice — losing or mangling one
         can only degrade toward the unhinted baseline.
         """
-        self.stats.counter("app.hint_calls").add()
+        self.stats.counter(metrics.APP_HINT_CALLS).add()
         if inode is None or length <= 0:
-            self.stats.counter("app.hint_calls_unresolvable").add()
+            self.stats.counter(metrics.APP_HINT_CALLS_UNRESOLVABLE).add()
             return 0
 
         if self.injector is not None:
@@ -420,7 +471,7 @@ class Kernel:
 
         # Defensive validation: garbage offsets/lengths must not crash TIP.
         if offset < 0 or offset >= inode.size or length <= 0:
-            self.stats.counter("app.hint_calls_unresolvable").add()
+            self.stats.counter(metrics.APP_HINT_CALLS_UNRESOLVABLE).add()
             return 0
         length = min(length, inode.size - offset)
 

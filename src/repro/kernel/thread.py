@@ -51,6 +51,7 @@ class Thread:
         "spec_clock",
         "pending_budget",
         "cpu_cycles",
+        "blocked_at",
     )
 
     def __init__(
@@ -90,6 +91,9 @@ class Thread:
         #: CPU time this thread has consumed (excludes blocked time) —
         #: used for the paper's cycles-between-calls statistics.
         self.cpu_cycles: int = 0
+        #: Clock reading when this thread last blocked on I/O — the kernel
+        #: charges the blocked interval to the demand-stall phase at wakeup.
+        self.blocked_at: int = 0
 
     # -- register helpers ---------------------------------------------------
 

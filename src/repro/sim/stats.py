@@ -32,18 +32,34 @@ class Distribution:
 
     Keeps every observation (runs are small enough) so exact medians and
     percentiles — which the paper reports, e.g. median cycles between read
-    calls — are available.
+    calls — are available.  Aggregates are maintained incrementally and the
+    sorted order is cached between observations, so summaries that read
+    ``mean``/``percentile`` repeatedly (mid-run trace queries, the tables
+    code) do not re-sum or re-sort the whole sample every access.
     """
 
-    __slots__ = ("name", "values")
+    __slots__ = ("name", "values", "_total", "_min", "_max", "_sorted")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.values: List[float] = []
+        self._total: float = 0.0
+        self._min: float = 0.0
+        self._max: float = 0.0
+        self._sorted: Optional[List[float]] = None
 
     def observe(self, value: float) -> None:
         """Record one observation."""
+        if not self.values:
+            self._min = self._max = value
+        else:
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
         self.values.append(value)
+        self._total += value
+        self._sorted = None
 
     @property
     def count(self) -> int:
@@ -51,11 +67,11 @@ class Distribution:
 
     @property
     def total(self) -> float:
-        return sum(self.values)
+        return self._total
 
     @property
     def mean(self) -> float:
-        return self.total / len(self.values) if self.values else 0.0
+        return self._total / len(self.values) if self.values else 0.0
 
     @property
     def median(self) -> float:
@@ -63,18 +79,28 @@ class Distribution:
 
     @property
     def maximum(self) -> float:
-        return max(self.values) if self.values else 0.0
+        return self._max if self.values else 0.0
 
     @property
     def minimum(self) -> float:
-        return min(self.values) if self.values else 0.0
+        return self._min if self.values else 0.0
+
+    def _ordered(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self.values)
+        return self._sorted
 
     def percentile(self, pct: float) -> float:
-        """Exact percentile by nearest-rank on the sorted observations."""
+        """Exact percentile by nearest-rank on the sorted observations.
+
+        Empty distributions report 0.0 for any percentile; a single
+        observation is every percentile of itself; out-of-range ``pct``
+        clamps to the extremes instead of indexing out of bounds.
+        """
         if not self.values:
             return 0.0
-        ordered = sorted(self.values)
-        if pct <= 0:
+        ordered = self._ordered()
+        if len(ordered) == 1 or pct <= 0:
             return ordered[0]
         if pct >= 100:
             return ordered[-1]
@@ -121,6 +147,12 @@ class StatRegistry:
     def distribution_or_none(self, name: str) -> Optional[Distribution]:
         """The named distribution if any observations were made."""
         return self._distributions.get(name)
+
+    def distributions(self) -> Iterator[Tuple[str, Distribution]]:
+        """Iterate (name, distribution) sorted by name — counters and
+        distributions are queryable mid-run, not just at snapshot time."""
+        for name in sorted(self._distributions):
+            yield name, self._distributions[name]
 
     def snapshot(self) -> Dict[str, int]:
         """Plain-dict copy of all counter values."""

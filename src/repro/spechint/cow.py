@@ -25,10 +25,13 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.kernel.vmstat import PageAccounting
 from repro.params import PAGE_SIZE, SpecHintParams
+from repro.sim.metrics import SPEC_COW_REGIONS_COPIED
+from repro.trace.tracer import CAT_SPEC, NULL_TRACER, TID_SPECULATING, Tracer
 from repro.vm.machine import SpeculationFault
 from repro.vm.memory import MASK64, AddressSpace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.stats import StatRegistry
     from repro.spechint.auditor import IsolationAuditor
 
 #: Synthetic page-number base for COW copies in footprint accounting.
@@ -44,6 +47,8 @@ class CowMap:
         params: SpecHintParams,
         vmstat: Optional[PageAccounting] = None,
         auditor: Optional["IsolationAuditor"] = None,
+        stats: Optional["StatRegistry"] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.mem = mem
         self.region_size = params.cow_region_size
@@ -54,6 +59,8 @@ class CowMap:
         #: Isolation auditor: checks every write against the containment
         #: map (observation only; never alters behaviour of correct code).
         self.auditor = auditor
+        self.stats = stats
+        self.tracer = tracer
         self._copies: Dict[int, bytearray] = {}
         #: Lifetime counters (across clears).
         self.regions_copied_total = 0
@@ -91,6 +98,12 @@ class CowMap:
         self._copies[region] = bytearray(self.mem.raw_read(base, size))
         self.regions_copied_total += 1
         self.bytes_copied_total += size
+        if self.stats is not None:
+            self.stats.counter(SPEC_COW_REGIONS_COPIED).add()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                CAT_SPEC, "cow.copy", tid=TID_SPECULATING, base=base, size=size,
+            )
         if self.vmstat is not None:
             # COW copies occupy real memory: account them as distinct pages.
             first = _COW_PAGE_BASE + (region * size) // PAGE_SIZE

@@ -40,6 +40,8 @@ from repro.errors import IsolationViolation
 from repro.faults.watchdog import SpeculationWatchdog
 from repro.fs.filesystem import Inode
 from repro.params import BLOCK_SIZE
+from repro.sim import metrics
+from repro.trace.tracer import CAT_SPEC, TID_ORIGINAL, TID_SPECULATING
 from repro.spechint.auditor import IsolationAuditor, IsolationQuarantine
 from repro.spechint.cow import CowMap
 from repro.spechint.hintlog import HintLog
@@ -128,7 +130,8 @@ class SpecProcessState:
         self.isolation_violations = 0
 
         self.cow = CowMap(process.mem, meta.params, vmstat=process.vmstat,
-                          auditor=self.auditor)
+                          auditor=self.auditor, stats=kernel.stats,
+                          tracer=kernel.tracer)
         self.hint_log = HintLog()
         self.throttle = SpeculationThrottle(
             meta.params.throttle_cancel_limit, meta.params.throttle_disable_reads
@@ -169,17 +172,17 @@ class SpecProcessState:
         report = meta.report
         if report is not None and report.analysis_applied:
             stats = kernel.stats
-            stats.counter("spechint.analysis.stores_elided").add(
+            stats.counter(metrics.SPECHINT_ANALYSIS_STORES_ELIDED).add(
                 report.stores_elided
             )
-            stats.counter("spechint.analysis.loads_unchecked").add(
+            stats.counter(metrics.SPECHINT_ANALYSIS_LOADS_UNCHECKED).add(
                 report.loads_unchecked_dead
             )
-            stats.counter("spechint.analysis.transfers_resolved").add(
+            stats.counter(metrics.SPECHINT_ANALYSIS_TRANSFERS_RESOLVED).add(
                 report.transfers_statically_resolved
             )
             saved = report.check_cycles_baseline - report.check_cycles_emitted
-            stats.counter("spechint.analysis.check_cycles_saved").add(saved)
+            stats.counter(metrics.SPECHINT_ANALYSIS_CHECK_CYCLES_SAVED).add(saved)
             if self.auditor is not None:
                 self.auditor.table.record(
                     "analysis",
@@ -194,8 +197,14 @@ class SpecProcessState:
     def before_read(self, thread: "Thread", fd_num: int, length: int) -> int:
         """Hint-log check before the original thread issues a read.
 
-        Returns the (observable) cycle cost.
+        Returns the (observable) cycle cost.  The whole cost — check plus
+        any restart request — is the "checks" phase of the stall breakdown.
         """
+        cost = self._before_read_inner(thread, fd_num, length)
+        self.kernel.stats.counter(metrics.SPEC_CHECK_CYCLES).add(cost)
+        return cost
+
+    def _before_read_inner(self, thread: "Thread", fd_num: int, length: int) -> int:
         cpu = self.kernel.config.cpu
         cost = cpu.hintlog_check_cycles
         process = self.process
@@ -211,7 +220,7 @@ class SpecProcessState:
                 return cost
             # This read released the quarantine: resume the normal path —
             # the stale hint log will mismatch and request a restart.
-            self.kernel.stats.counter("spec.quarantine_released").add()
+            self.kernel.stats.counter(metrics.SPEC_QUARANTINE_RELEASED).add()
             if self.auditor is not None:
                 self.auditor.table.record("quarantine_released")
 
@@ -226,6 +235,14 @@ class SpecProcessState:
             # off track even though the entry matched (restart-storm chaos).
             matched = False
 
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(
+                CAT_SPEC,
+                "hint_check.match" if matched else "hint_check.divergence",
+                tid=TID_ORIGINAL, ino=ino, offset=offset, length=length,
+            )
+
         if self.watchdog.note_check(matched):
             self._disable_speculation()
             return cost
@@ -235,7 +252,7 @@ class SpecProcessState:
 
         # Off track (strayed or behind): request a restart.
         if not self.throttle.allow_restart():
-            self.kernel.stats.counter("spec.throttle_suppressed").add()
+            self.kernel.stats.counter(metrics.SPEC_THROTTLE_SUPPRESSED).add()
             self._capture_boundary()
             return cost
 
@@ -249,7 +266,7 @@ class SpecProcessState:
         else:
             self._saved_read_n = 0
         self.restart_flag = True
-        self.kernel.stats.counter("spec.restart_requests").add()
+        self.kernel.stats.counter(metrics.SPEC_RESTART_REQUESTS).add()
         self._capture_boundary()
         self._wake_spec_thread()
         return cost
@@ -302,12 +319,17 @@ class SpecProcessState:
             self.auditor.verify_restart_boundary(self._saved_regs)
 
         self.restarts += 1
-        self.kernel.stats.counter("spec.restarts").add()
+        self.kernel.stats.counter(metrics.SPEC_RESTARTS).add()
+        if self.kernel.tracer.enabled:
+            self.kernel.tracer.instant(
+                CAT_SPEC, "restart", tid=TID_SPECULATING,
+                nth=self.restarts, resume_pc=self._saved_resume_pc,
+            )
 
         # Cancel outstanding hints (the CANCEL_ALL call added to TIP).
         cancelled = self.kernel.manager.cancel_all(self.process.pid)
         self.cancel_calls += 1
-        self.kernel.stats.counter("spec.cancel_calls").add()
+        self.kernel.stats.counter(metrics.SPEC_CANCEL_CALLS).add()
         self.throttle.note_cancel(cancelled)
 
         # The restart's safety depends on the cancel having drained the
@@ -319,7 +341,7 @@ class SpecProcessState:
                 f"TIPIO_CANCEL_ALL left {outstanding} hint(s) outstanding "
                 f"before restart"
             )
-        self.kernel.stats.counter("spec.cancel_drain_verified").add()
+        self.kernel.stats.counter(metrics.SPEC_CANCEL_DRAIN_VERIFIED).add()
         if self.auditor is not None:
             self.auditor.table.record("restart", f"cancelled={cancelled}")
 
@@ -392,8 +414,8 @@ class SpecProcessState:
             via = Ioctl.TIPIO_SEG if sfd.pseudo else Ioctl.TIPIO_FD_SEG
             self.kernel.hint_from(self.process.pid, inode, offset, n, via)
             self.hints_issued += 1
-            self.kernel.stats.counter("spec.hints_issued").add()
-            self.kernel.stats.distribution("app.hint_call_cpu").observe(
+            self.kernel.stats.counter(metrics.SPEC_HINTS_ISSUED).add()
+            self.kernel.stats.distribution(metrics.APP_HINT_CALL_CPU).observe(
                 thread.cpu_cycles
             )
             cost += cpu.syscall_cycles + cpu.hint_call_cycles
@@ -498,7 +520,7 @@ class SpecProcessState:
             # suppression itself is a recorded, auditable event.
             regs[V0] = regs[A2]
             thread.pc += 1
-            self.kernel.stats.counter("spec.writes_suppressed").add()
+            self.kernel.stats.counter(metrics.SPEC_WRITES_SUPPRESSED).add()
             if self.auditor is not None:
                 self.auditor.table.record(
                     "write_suppressed", f"fd={regs[A0]} len={regs[A2]}"
@@ -513,7 +535,7 @@ class SpecProcessState:
             return self.park(thread, "spec_exit")
 
         # Any other system call would be an externally visible side effect.
-        self.kernel.stats.counter("spec.syscalls_blocked").add()
+        self.kernel.stats.counter(metrics.SPEC_SYSCALLS_BLOCKED).add()
         if self.auditor is not None:
             self.auditor.table.record("syscall_blocked", f"num={num}")
         return self.park(thread, "forbidden_syscall")
@@ -552,17 +574,22 @@ class SpecProcessState:
         continues with baseline correctness, minus hinting.
         """
         self.isolation_violations += 1
-        self.kernel.stats.counter("spec.isolation_violations").add()
+        self.kernel.stats.counter(metrics.SPEC_ISOLATION_VIOLATIONS).add()
         self.restart_flag = False
         self.quarantine_state.impose(str(violation))
-        self.kernel.stats.counter("spec.quarantines").add()
+        self.kernel.stats.counter(metrics.SPEC_QUARANTINES).add()
         if self.quarantine_state.permanent:
-            self.kernel.stats.counter("spec.quarantine_permanent").add()
+            self.kernel.stats.counter(metrics.SPEC_QUARANTINE_PERMANENT).add()
         if self.auditor is not None:
             self.auditor.table.record("quarantine", str(violation))
+        if self.kernel.tracer.enabled:
+            self.kernel.tracer.instant(
+                CAT_SPEC, "quarantine", tid=TID_SPECULATING,
+                permanent=self.quarantine_state.permanent,
+            )
         cancelled = self.kernel.manager.cancel_all(self.process.pid)
         if cancelled:
-            self.kernel.stats.counter("spec.quarantine_hints_cancelled").add(
+            self.kernel.stats.counter(metrics.SPEC_QUARANTINE_HINTS_CANCELLED).add(
                 cancelled
             )
         return self.park(thread, "isolation_quarantine")
@@ -576,7 +603,11 @@ class SpecProcessState:
         thread.state = ThreadState.SPEC_IDLE
         thread.stop_reason = "spec_idle"
         self.parks[reason] = self.parks.get(reason, 0) + 1
-        self.kernel.stats.counter(f"spec.park.{reason}").add()
+        self.kernel.stats.counter(metrics.SPEC_PARK_PREFIX + reason).add()
+        if self.kernel.tracer.enabled:
+            self.kernel.tracer.instant(
+                CAT_SPEC, "park", tid=TID_SPECULATING, reason=reason,
+            )
         return _STOPPED
 
     def note_signal(self, thread: "Thread") -> None:
@@ -584,7 +615,9 @@ class SpecProcessState:
         from repro.kernel.thread import ThreadState
 
         self.signals += 1
-        self.kernel.stats.counter("spec.signals").add()
+        self.kernel.stats.counter(metrics.SPEC_SIGNALS).add()
+        if self.kernel.tracer.enabled:
+            self.kernel.tracer.instant(CAT_SPEC, "signal", tid=TID_SPECULATING)
         thread.state = ThreadState.SPEC_IDLE
         thread.stop_reason = "spec_idle"
         if self.watchdog.note_fault():
@@ -607,7 +640,11 @@ class SpecProcessState:
             self.thread.state = ThreadState.SPEC_IDLE
             self.thread.stop_reason = "spec_idle"
         cancelled = self.kernel.manager.cancel_all(self.process.pid)
-        self.kernel.stats.counter("spec.watchdog_disabled").add()
-        self.kernel.stats.counter(f"spec.watchdog_trip.{reason}").add()
+        self.kernel.stats.counter(metrics.SPEC_WATCHDOG_DISABLED).add()
+        self.kernel.stats.counter(metrics.SPEC_WATCHDOG_TRIP_PREFIX + reason).add()
         if cancelled:
-            self.kernel.stats.counter("spec.watchdog_hints_cancelled").add(cancelled)
+            self.kernel.stats.counter(metrics.SPEC_WATCHDOG_HINTS_CANCELLED).add(cancelled)
+        if self.kernel.tracer.enabled:
+            self.kernel.tracer.instant(
+                CAT_SPEC, "watchdog_disabled", tid=TID_SPECULATING, reason=reason,
+            )

@@ -23,8 +23,10 @@ from typing import TYPE_CHECKING, Callable, Deque, Optional
 from repro.errors import InvalidBlockError
 from repro.params import BLOCK_SIZE, CpuParams, DiskParams
 from repro.sim.engine import Event, EventEngine
+from repro.sim.metrics import DISK_PREFIX
 from repro.sim.stats import StatRegistry
 from repro.storage.request import IORequest
+from repro.trace.tracer import CAT_STORAGE, NULL_TRACER, TID_DISK_BASE, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
@@ -43,6 +45,7 @@ class Disk:
         stats: StatRegistry,
         on_finish: Callable[[IORequest], None],
         injector: Optional["FaultInjector"] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if nblocks <= 0:
             raise InvalidBlockError(f"disk {disk_id} must have >0 blocks, got {nblocks}")
@@ -57,6 +60,8 @@ class Disk:
         #: Fault oracle; None in fault-free runs (zero overhead, identical
         #: event stream to the pre-fault-injection simulator).
         self.injector = injector
+        self.tracer = tracer
+        self._trace_tid = TID_DISK_BASE + disk_id
 
         self._demand_queue: Deque[IORequest] = deque()
         self._prefetch_queue: Deque[IORequest] = deque()
@@ -69,7 +74,7 @@ class Disk:
         self._buffer_end: int = 0  # exclusive; empty buffer when start == end
 
         # Per-disk counters.
-        self._prefix = f"disk{disk_id}."
+        self._prefix = f"{DISK_PREFIX}{disk_id}."
 
     # -- queueing ----------------------------------------------------------
 
@@ -86,6 +91,8 @@ class Disk:
         else:
             self._prefetch_queue.append(request)
         self.stats.counter(self._prefix + "submitted").add()
+        if self.tracer.enabled:
+            self._sample_queue_depth()
         self._maybe_start()
 
     @property
@@ -171,8 +178,24 @@ class Disk:
         request.fault = fault
         self._active = None
         self._active_event = None
+        if self.tracer.enabled:
+            self.tracer.complete(
+                CAT_STORAGE, "disk.service", request.start_time,
+                request.finish_time - request.start_time,
+                tid=self._trace_tid, lbn=request.lbn,
+                kind=request.kind.value, fault=fault,
+            )
+            self._sample_queue_depth()
         self.on_finish(request)
         self._maybe_start()
+
+    def _sample_queue_depth(self) -> None:
+        """Counter sample: waiting requests + the in-service one."""
+        depth = self.queued + (1 if self._active is not None else 0)
+        self.tracer.counter(
+            CAT_STORAGE, self._prefix + "queue_depth", depth,
+            tid=self._trace_tid,
+        )
 
     # -- aborts (per-request timeouts) --------------------------------------
 

@@ -22,10 +22,12 @@ from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import DiskFaultError, InvalidBlockError, IOTimeoutError
 from repro.params import BLOCK_SIZE, ArrayParams, CpuParams, DiskParams
+from repro.sim import metrics
 from repro.sim.engine import EventEngine
 from repro.sim.stats import StatRegistry
 from repro.storage.disk import Disk
 from repro.storage.request import IOKind, IORequest
+from repro.trace.tracer import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
@@ -43,6 +45,7 @@ class StripedArray:
         engine: EventEngine,
         stats: StatRegistry,
         injector: Optional["FaultInjector"] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if array.ndisks <= 0:
             raise InvalidBlockError(f"array needs >=1 disk, got {array.ndisks}")
@@ -56,13 +59,14 @@ class StripedArray:
         self.engine = engine
         self.stats = stats
         self.injector = injector
+        self.tracer = tracer
         self.blocks_per_unit = array.stripe_unit // BLOCK_SIZE
         self.nblocks = nblocks
 
         per_disk = self._physical_blocks_per_disk(nblocks)
         self.disks: List[Disk] = [
             Disk(i, per_disk, disk_params, cpu, engine, stats,
-                 self._disk_finished, injector=injector)
+                 self._disk_finished, injector=injector, tracer=tracer)
             for i in range(array.ndisks)
         ]
 
@@ -115,7 +119,7 @@ class StripedArray:
             self._chain_callback(existing, callback)
             if kind is IOKind.DEMAND and not existing.is_demand:
                 self._promote(existing)
-                self.stats.counter("array.demand_coalesced").add()
+                self.stats.counter(metrics.ARRAY_DEMAND_COALESCED).add()
             return existing
 
         request = IORequest(lbn, kind, callback)
@@ -132,7 +136,7 @@ class StripedArray:
             and self._inflight_prefetches[disk_id] >= limit
         ):
             self._held_prefetches[disk_id].append(request)
-            self.stats.counter("array.prefetches_held").add()
+            self.stats.counter(metrics.ARRAY_PREFETCHES_HELD).add()
             return request
 
         self._dispatch(request)
@@ -213,7 +217,7 @@ class StripedArray:
             self._inflight_prefetches[request.disk_id] -= 1
             self._release_held(request.disk_id)
         request.fault = "timeout"
-        self.stats.counter("array.timeouts").add()
+        self.stats.counter(metrics.ARRAY_TIMEOUTS).add()
         self._handle_fault(request)
 
     def _chain_callback(self, request: IORequest, callback: Callable[[IORequest], None]) -> None:
@@ -265,14 +269,14 @@ class StripedArray:
 
     def _handle_fault(self, request: IORequest) -> None:
         """One attempt failed (transient/offline error or timeout)."""
-        self.stats.counter("array.faulted_attempts").add()
+        self.stats.counter(metrics.ARRAY_FAULTED_ATTEMPTS).add()
         if request.attempts < self._retry_limit(request):
             delay = int(
                 self.array.retry_backoff_cycles
                 * self.array.retry_backoff_multiplier ** (request.attempts - 1)
             )
             request.attempts += 1
-            self.stats.counter("array.retries").add()
+            self.stats.counter(metrics.ARRAY_RETRIES).add()
             self.engine.schedule_after(
                 max(1, delay),
                 lambda: self._resubmit(request),
@@ -285,9 +289,9 @@ class StripedArray:
         # and the read degrades to the unhinted baseline.
         request.failed = True
         if request.is_demand:
-            self.stats.counter("array.demand_failures").add()
+            self.stats.counter(metrics.ARRAY_DEMAND_FAILURES).add()
         else:
-            self.stats.counter("array.prefetches_dropped").add()
+            self.stats.counter(metrics.ARRAY_PREFETCHES_DROPPED).add()
         self._notify(request)
 
     def _resubmit(self, request: IORequest) -> None:
@@ -310,6 +314,6 @@ class StripedArray:
         request.notify_time = self.engine.clock.now
         request.done = True
         self._outstanding.pop(request.lbn, None)
-        self.stats.counter("array.completed").add()
+        self.stats.counter(metrics.ARRAY_COMPLETED).add()
         if request.callback is not None:
             request.callback(request)

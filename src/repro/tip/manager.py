@@ -28,10 +28,13 @@ from repro.fs.filesystem import FileSystem, Inode
 from repro.fs.manager import CacheManagerBase
 from repro.fs.readahead import SequentialReadAhead
 from repro.params import TipParams
+from repro.sim import metrics
 from repro.sim.stats import StatRegistry
 from repro.storage.striping import StripedArray
 from repro.tip.accuracy import HintAccuracyTracker
 from repro.tip.hints import HintSegment
+from repro.trace.lifecycle import HintLifecycle
+from repro.trace.tracer import CAT_TIP, NULL_TRACER, TID_SYSTEM, Tracer
 
 
 class _HintedBlock:
@@ -75,9 +78,15 @@ class TipManager(CacheManagerBase):
         readahead: SequentialReadAhead,
         stats: StatRegistry,
         params: TipParams,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         super().__init__(fs, array, cache, readahead, stats)
         self.params = params
+        self.tracer = tracer
+        #: Always-on per-hint lifecycle ledger (disclosed -> terminal).
+        #: Reads the array's clock; never schedules or advances anything.
+        self.lifecycle = HintLifecycle(array.engine.clock, tracer=tracer,
+                                       stats=stats)
         self._procs: Dict[int, _ProcessHints] = {}
         self._next_seq = 0
         #: Lifetime count of hints dropped by TIPIO_CANCEL_ALL (the restart
@@ -105,9 +114,9 @@ class TipManager(CacheManagerBase):
 
     def hint_segments(self, pid: int, segments: Sequence[HintSegment]) -> int:
         """Accept hint segments (TIPIO_SEG / TIPIO_FD_SEG)."""
-        self.stats.counter("tip.hint_calls").add()
+        self.stats.counter(metrics.TIP_HINT_CALLS).add()
         if self.params.ignore_hints:
-            self.stats.counter("tip.hints_ignored").add(len(segments))
+            self.stats.counter(metrics.TIP_HINTS_IGNORED).add(len(segments))
             return 0
         state = self._proc(pid)
         accepted = 0
@@ -117,30 +126,35 @@ class TipManager(CacheManagerBase):
                 entry = _HintedBlock(key, self._next_seq)
                 state.queue.append(entry)
                 self._hinted_seqs.setdefault(key, []).append(entry.seq)
+                self.lifecycle.disclosed(entry.seq, key, pid)
                 accepted += 1
-        self.stats.counter("tip.hinted_blocks").add(accepted)
+        self.stats.counter(metrics.TIP_HINTED_BLOCKS).add(accepted)
         if accepted:
             self._schedule_prefetches(pid)
         return accepted
 
     def cancel_all(self, pid: int) -> int:
         """TIPIO_CANCEL_ALL: drop every outstanding hint from ``pid``."""
-        self.stats.counter("tip.cancel_calls").add()
+        self.stats.counter(metrics.TIP_CANCEL_CALLS).add()
         state = self._procs.get(pid)
         if state is None or not state.queue:
             return 0
         cancelled = len(state.queue)
         for entry in state.queue:
             self._forget_seq(entry.key, entry.seq)
+            self.lifecycle.cancelled(entry.seq, pid)
         state.queue.clear()
         state.accuracy.observe_cancelled(cancelled)
         self.cancelled_total += cancelled
-        self.stats.counter("tip.hints_cancelled").add(cancelled)
+        self.stats.counter(metrics.TIP_HINTS_CANCELLED).add(cancelled)
+        if self.tracer.enabled:
+            self.tracer.instant(CAT_TIP, "cancel_all", tid=TID_SYSTEM,
+                                pid=pid, cancelled=cancelled)
         # Post-condition of TIPIO_CANCEL_ALL: the queue is drained.  The
         # restart protocol restarts speculation on the strength of this —
         # a leaked hint would let a cancelled prediction keep prefetching.
         assert not state.queue, f"cancel_all leaked {len(state.queue)} hints"
-        self.stats.counter("tip.cancel_drained").add()
+        self.stats.counter(metrics.TIP_CANCEL_DRAINED).add()
         return cancelled
 
     # -- read-path matching -----------------------------------------------------
@@ -167,15 +181,15 @@ class TipManager(CacheManagerBase):
 
         matched_all = True
         for file_block in range(first_block, last_block + 1):
-            if not self._consume_one(state, (inode.ino, file_block)):
+            if not self._consume_one(state, (inode.ino, file_block), pid):
                 matched_all = False
         if matched_all:
-            self.stats.counter("tip.hinted_read_calls").add()
-            self.stats.counter("tip.hinted_read_bytes").add(length)
-        self._drop_stale(state)
+            self.stats.counter(metrics.TIP_HINTED_READ_CALLS).add()
+            self.stats.counter(metrics.TIP_HINTED_READ_BYTES).add(length)
+        self._drop_stale(state, pid)
         return matched_all
 
-    def _consume_one(self, state: _ProcessHints, key: BlockKey) -> bool:
+    def _consume_one(self, state: _ProcessHints, key: BlockKey, pid: int) -> bool:
         queue = state.queue
         window = min(self.MATCH_WINDOW, len(queue))
         for i in range(window):
@@ -184,7 +198,8 @@ class TipManager(CacheManagerBase):
                 del queue[i]
                 self._forget_seq(entry.key, entry.seq)
                 state.accuracy.observe_consumed()
-                self.stats.counter("tip.hints_consumed").add()
+                self.stats.counter(metrics.TIP_HINTS_CONSUMED).add()
+                self.lifecycle.consumed(entry.seq, pid)
                 self._remember_consumed(key)
                 return True
             entry.skips += 1
@@ -203,13 +218,14 @@ class TipManager(CacheManagerBase):
             for old_key, _ in ordered[: len(ordered) // 2]:
                 del self._consumed_blocks[old_key]
 
-    def _drop_stale(self, state: _ProcessHints) -> None:
+    def _drop_stale(self, state: _ProcessHints, pid: int) -> None:
         queue = state.queue
         while queue and queue[0].skips > self.STALE_SKIP_LIMIT:
             entry = queue.popleft()
             self._forget_seq(entry.key, entry.seq)
             state.accuracy.observe_stale()
-            self.stats.counter("tip.hints_stale_dropped").add()
+            self.stats.counter(metrics.TIP_HINTS_STALE_DROPPED).add()
+            self.lifecycle.wasted(entry.seq, pid, "stale")
 
     def _forget_seq(self, key: BlockKey, seq: int) -> None:
         seqs = self._hinted_seqs.get(key)
@@ -256,9 +272,11 @@ class TipManager(CacheManagerBase):
             if self.start_prefetch(inode, key[1], FetchOrigin.HINT):
                 self._inflight_hint_fetch[key] = disk
                 self._inflight_per_disk[disk] = self._inflight_per_disk.get(disk, 0) + 1
-                self.stats.counter("tip.prefetches_issued").add()
+                self.stats.counter(metrics.TIP_PREFETCHES_ISSUED).add()
+                self.lifecycle.prefetch_issued(key)
 
     def on_block_arrived(self, key: BlockKey) -> None:
+        self.lifecycle.filled(key)
         disk = self._inflight_hint_fetch.pop(key, None)
         if disk is not None:
             self._inflight_per_disk[disk] -= 1
@@ -271,7 +289,8 @@ class TipManager(CacheManagerBase):
         disk = self._inflight_hint_fetch.pop(key, None)
         if disk is not None:
             self._inflight_per_disk[disk] -= 1
-            self.stats.counter("tip.prefetches_dropped").add()
+            self.stats.counter(metrics.TIP_PREFETCHES_DROPPED).add()
+            self.lifecycle.prefetch_dropped(key)
         for pid in self._procs:
             self._schedule_prefetches(pid)
 
@@ -297,7 +316,7 @@ class TipManager(CacheManagerBase):
                 best_distance = distance
                 best_hinted = entry
         if best_hinted is not None and best_distance > self.params.prefetch_horizon:
-            self.stats.counter("tip.hinted_evictions").add()
+            self.stats.counter(metrics.TIP_HINTED_EVICTIONS).add()
             return best_hinted
         return None
 
@@ -324,7 +343,8 @@ class TipManager(CacheManagerBase):
             if leftover:
                 for entry in state.queue:
                     self._forget_seq(entry.key, entry.seq)
+                    self.lifecycle.wasted(entry.seq, pid, "unconsumed")
                 state.queue.clear()
                 state.accuracy.observe_stale(leftover)
-                self.stats.counter("tip.hints_unconsumed_at_end").add(leftover)
+                self.stats.counter(metrics.TIP_HINTS_UNCONSUMED_AT_END).add(leftover)
         super().finalize()

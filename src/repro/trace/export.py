@@ -1,0 +1,103 @@
+"""Trace exporters: JSONL and Chrome ``trace_event``.
+
+Two formats, one event shape:
+
+* **JSONL** — one event dict per line, trivially greppable/streamable;
+  this is what the differential oracle drops next to a failing cell.
+* **Chrome trace_event** — the same dicts wrapped in
+  ``{"traceEvents": [...], ...}`` with thread-name metadata so the file
+  loads directly into Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing`` with readable track names.
+
+Timestamps are simulated cycles passed through as the format's
+microsecond field — absolute units are meaningless inside the simulator,
+relative spacing is what the timeline view is for.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterable, List
+
+from repro.errors import TraceError
+from repro.trace.tracer import (
+    TID_DISK_BASE,
+    TID_ORIGINAL,
+    TID_SPECULATING,
+    TID_SYSTEM,
+    TraceEvent,
+    Tracer,
+)
+
+#: Human names for the synthetic thread ids (Perfetto track labels).
+_TRACK_NAMES = {
+    TID_ORIGINAL: "original thread",
+    TID_SPECULATING: "speculating thread",
+    TID_SYSTEM: "kernel/tip",
+}
+
+
+def _track_name(tid: int) -> str:
+    name = _TRACK_NAMES.get(tid)
+    if name is not None:
+        return name
+    if tid >= TID_DISK_BASE:
+        return f"disk {tid - TID_DISK_BASE}"
+    return f"track {tid}"
+
+
+def write_jsonl(events: Iterable[TraceEvent], stream: IO[str]) -> int:
+    """Write one JSON event per line.  Returns the event count."""
+    count = 0
+    for event in events:
+        stream.write(json.dumps(event.to_jsonable(), sort_keys=True))
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def chrome_trace(tracer: Tracer) -> Dict[str, object]:
+    """Build the Chrome ``trace_event`` document for a recorded trace."""
+    events: List[Dict[str, object]] = []
+    seen_tids = set()
+    for event in tracer.events():
+        seen_tids.add(event.tid)
+        events.append(event.to_jsonable())
+    # Thread-name metadata events give Perfetto readable track labels.
+    for tid in sorted(seen_tids):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": _track_name(tid)},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "clock": "simulated cycles",
+            "dropped_events": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, stream: IO[str]) -> int:
+    """Write the Chrome trace JSON document.  Returns the event count."""
+    document = chrome_trace(tracer)
+    json.dump(document, stream)
+    stream.write("\n")
+    return len(tracer)
+
+
+def export_to_path(tracer: Tracer, path: str, fmt: str) -> int:
+    """Export ``tracer`` to ``path`` in ``fmt`` ("jsonl" or "chrome")."""
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            if fmt == "jsonl":
+                return write_jsonl(tracer.events(), handle)
+            if fmt == "chrome":
+                return write_chrome_trace(tracer, handle)
+    except OSError as exc:
+        raise TraceError(f"cannot write trace to {path!r}: {exc}") from exc
+    raise TraceError(f"unknown trace export format {fmt!r} (jsonl|chrome)")

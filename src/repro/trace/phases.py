@@ -1,0 +1,108 @@
+"""Phase attribution: where did the simulated cycles go?
+
+The paper's performance story is a cycle ledger: elapsed time on the
+original thread splits into *compute* (application instructions and
+syscall overheads), *checks* (SpecHint's hint-log comparisons and restart
+requests), and *demand stall* (blocked on a read the cache could not
+serve).  The speculating thread's own CPU time — which in uniprocessor
+mode hides entirely inside the stall phase — is reported alongside.
+
+This attribution is **always on**: it is computed from counters the
+kernel and the SpecHint runtime maintain anyway, so every
+:class:`~repro.harness.results.RunResult` carries a stall breakdown even
+when event tracing is disabled.  The finer-grained view — how much of the
+speculating thread's time actually *overlapped* a stall — needs the event
+timeline and lives in :class:`~repro.trace.analyzer.TraceAnalyzer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+from repro.sim.metrics import KERNEL_DEMAND_STALL_CYCLES, SPEC_CHECK_CYCLES
+from repro.sim.stats import StatRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.kernel import Kernel
+
+
+@dataclass
+class StallBreakdown:
+    """Cycle ledger for one run (all values in simulated cycles).
+
+    ``wall`` covers the original thread's timeline, so
+    ``compute + checks + demand_stall + other == wall``; ``speculation``
+    overlaps the other phases (it runs while the original thread is
+    stalled, or on the second CPU) and is reported beside the ledger, not
+    inside it.
+    """
+
+    wall: int = 0
+    #: Application instructions + syscall overheads on original threads.
+    compute: int = 0
+    #: Hint-log checks and restart requests charged to the original thread.
+    checks: int = 0
+    #: Original-thread cycles blocked waiting for demand reads.
+    demand_stall: int = 0
+    #: CPU time consumed by speculating threads (overlapping, see above).
+    speculation: int = 0
+    #: Remainder: context switches, spec-thread init, scheduler idle gaps.
+    other: int = 0
+
+    def to_jsonable(self) -> Dict[str, int]:
+        return {
+            "wall": self.wall,
+            "compute": self.compute,
+            "checks": self.checks,
+            "demand_stall": self.demand_stall,
+            "speculation": self.speculation,
+            "other": self.other,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, int]) -> "StallBreakdown":
+        return cls(
+            wall=int(data.get("wall", 0)),
+            compute=int(data.get("compute", 0)),
+            checks=int(data.get("checks", 0)),
+            demand_stall=int(data.get("demand_stall", 0)),
+            speculation=int(data.get("speculation", 0)),
+            other=int(data.get("other", 0)),
+        )
+
+    def pct(self, phase_cycles: int) -> float:
+        """A phase as a percentage of wall time."""
+        return 100.0 * phase_cycles / self.wall if self.wall else 0.0
+
+
+def stall_breakdown(kernel: "Kernel") -> StallBreakdown:
+    """Compute the cycle ledger from a (possibly still running) kernel.
+
+    Reads only counters and per-thread CPU totals — never the event
+    buffer — so it works identically with tracing on, off, or mid-run.
+    """
+    stats: StatRegistry = kernel.stats
+    wall = kernel.clock.now
+    original_cpu = 0
+    spec_cpu = 0
+    for process in kernel.processes:
+        for thread in process.threads:
+            if thread.is_spec:
+                spec_cpu += thread.cpu_cycles
+            else:
+                original_cpu += thread.cpu_cycles
+    checks = stats.get(SPEC_CHECK_CYCLES)
+    demand_stall = stats.get(KERNEL_DEMAND_STALL_CYCLES)
+    # Checks are charged through the read syscall and therefore already
+    # included in the threads' CPU totals; carve them out of compute.
+    compute = max(0, original_cpu - checks)
+    other = max(0, wall - compute - checks - demand_stall)
+    return StallBreakdown(
+        wall=wall,
+        compute=compute,
+        checks=checks,
+        demand_stall=demand_stall,
+        speculation=spec_cpu,
+        other=other,
+    )

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 from repro.errors import ArithmeticFault, IsolationViolation, MachineFault
 from repro.sim.clock import SimClock
 from repro.sim.engine import EventEngine
+from repro.trace.tracer import CAT_SCHED, TID_ORIGINAL, TID_SPECULATING
 from repro.vm.isa import (
     ALU_COST,
     BRANCH_COST,
@@ -90,6 +91,8 @@ class Machine:
             # every main-memory mutation is checked by the auditor.
             spec.auditor.arm(thread.process.mem)
             guard_armed = True
+        tracer = self.kernel.tracer
+        slice_start = self.clock.now if tracer.enabled else 0
         try:
             return self._run_inner(thread, budget, until)
         except SpeculationFault:
@@ -103,6 +106,18 @@ class Machine:
         finally:
             if guard_armed:
                 spec.auditor.disarm(thread.process.mem)
+            if tracer.enabled:
+                # One span per scheduling slice that advanced the clock.
+                # Budget-mode (second-CPU) speculation leaves the global
+                # clock alone, so it contributes no slice spans; its CPU
+                # time is still accounted via thread.cpu_cycles.
+                duration = self.clock.now - slice_start
+                if duration > 0:
+                    tracer.complete(
+                        CAT_SCHED, "exec", slice_start, duration,
+                        tid=TID_SPECULATING if thread.is_spec else TID_ORIGINAL,
+                        pid=thread.process.pid,
+                    )
 
     def _run_inner(
         self, thread: "Thread", budget: Optional[int], until: Optional[int] = None

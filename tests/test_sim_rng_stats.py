@@ -97,6 +97,46 @@ class TestDistribution:
         assert d.total == 12
         assert d.mean == 4
 
+    def test_empty_percentile_is_zero(self):
+        d = Distribution("d")
+        assert d.percentile(0) == 0.0
+        assert d.percentile(50) == 0.0
+        assert d.percentile(100) == 0.0
+        assert d.minimum == 0.0 and d.maximum == 0.0 and d.total == 0.0
+
+    def test_single_observation_is_every_percentile(self):
+        d = Distribution("d")
+        d.observe(42)
+        for pct in (0, 1, 50, 99, 100):
+            assert d.percentile(pct) == 42
+        assert d.median == 42
+
+    def test_out_of_range_percentiles_clamp(self):
+        d = Distribution("d")
+        for v in (10, 20, 30):
+            d.observe(v)
+        assert d.percentile(-5) == 10
+        assert d.percentile(250) == 30
+
+    def test_sort_cache_invalidated_by_observe(self):
+        d = Distribution("d")
+        d.observe(5)
+        assert d.median == 5  # populates the sort cache
+        d.observe(1)
+        d.observe(9)
+        assert d.median == 5
+        d.observe(100)
+        d.observe(200)
+        assert d.percentile(100) == 200
+
+    def test_negative_values_tracked(self):
+        d = Distribution("d")
+        for v in (-3, 7, -8):
+            d.observe(v)
+        assert d.minimum == -8
+        assert d.maximum == 7
+        assert d.total == -4
+
 
 class TestStatRegistry:
     def test_counter_created_on_first_use(self):
