@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Parallel sweep guard: determinism first, speedup second.
+
+The supervised parallel engine (``repro sweep --jobs N``) shards sealed
+simulation cells across worker processes.  Its contract has two halves,
+and this guard makes both a CI failure instead of a slow drift:
+
+1. **Determinism.**  The parallel result set must be *byte-identical* to
+   the serial one — same cells, same payloads, same checkpoint contents —
+   for a plain sweep grid and for a chaos grid spanning every built-in
+   fault profile.  The canonical digest (sha256 over the sorted JSON of
+   every cell payload) is also compared against the committed baseline in
+   ``BENCH_parallel_sweep.json``: the simulation is seeded, so the digest
+   is machine-independent and any change means results moved.
+2. **Speedup.**  On a multi-core runner, ``--jobs 4`` must beat serial by
+   the core-aware floor ``min(3.0, 0.75 * effective_cores)`` (the full
+   3x on a 4-core CI runner).  On a single-core machine the floor is not
+   enforceable — process-level parallelism cannot beat serial there — so
+   the guard reports the ratio and enforces determinism only.
+
+``--quick`` runs a 4-cell grid at ``--jobs 2`` and checks determinism
+only (for fast CI smoke); ``--update-baseline`` records the current
+digests after an intentional simulation change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.faults.plan import PROFILES  # noqa: E402
+from repro.harness.parallel import (  # noqa: E402
+    chaos_parallel_cells,
+    run_cells_parallel,
+    sweep_parallel_cells,
+)
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_parallel_sweep.json"
+)
+
+SCALE = 0.2
+CHAOS_PROFILES = tuple(sorted(name for name in PROFILES if name != "none"))
+
+
+def full_grid():
+    """The guard's workload: a cache sweep plus an all-profile chaos grid."""
+    cells = sweep_parallel_cells("cache", workload_scale=SCALE)
+    cells += chaos_parallel_cells(
+        apps=("agrep",), profiles=(None,) + CHAOS_PROFILES,
+        workload_scale=SCALE,
+    )
+    return cells
+
+
+def quick_grid():
+    return sweep_parallel_cells("cache", workload_scale=SCALE)[:4]
+
+
+def digest_of(results) -> str:
+    """Canonical digest of a result set: order-independent, byte-exact."""
+    canonical = json.dumps(results, sort_keys=True).encode()
+    return hashlib.sha256(canonical).hexdigest()
+
+
+def timed_run(cells, jobs: int):
+    """One run of the grid; returns (results, quarantined, wall seconds)."""
+    start = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        outcome = run_cells_parallel(
+            cells, jobs=jobs,
+            checkpoint_path=os.path.join(tmp, "bench.ckpt"),
+            identity="bench-parallel-sweep",
+            on_event=lambda message: print(f"  [supervisor] {message}",
+                                           file=sys.stderr),
+        )
+    elapsed = time.perf_counter() - start
+    return outcome, elapsed
+
+
+def effective_cores(jobs: int) -> int:
+    return min(jobs, os.cpu_count() or 1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count of the parallel leg (default 4)")
+    parser.add_argument("--quick", action="store_true",
+                        help="4-cell grid at --jobs 2, determinism only")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="record the current digests as the baseline")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline JSON path")
+    args = parser.parse_args(argv)
+
+    jobs = 2 if args.quick else args.jobs
+    cells = quick_grid() if args.quick else full_grid()
+    label = "quick" if args.quick else "full"
+    print(f"{label} grid: {len(cells)} cells, serial vs --jobs {jobs}")
+
+    serial, serial_s = timed_run(cells, jobs=1)
+    parallel, parallel_s = timed_run(cells, jobs=jobs)
+
+    for name, outcome in (("serial", serial), ("parallel", parallel)):
+        if outcome.quarantined:
+            print(f"FAIL: {name} run quarantined cells: "
+                  f"{sorted(outcome.quarantined)}", file=sys.stderr)
+            return 1
+    if len(serial.results) != len(cells):
+        print(f"FAIL: serial run completed {len(serial.results)} of "
+              f"{len(cells)} cells", file=sys.stderr)
+        return 1
+
+    # -- determinism ---------------------------------------------------------
+    serial_digest = digest_of(serial.results)
+    parallel_digest = digest_of(parallel.results)
+    print(f"serial:   {serial_s:7.2f} s  digest {serial_digest[:16]}…")
+    print(f"parallel: {parallel_s:7.2f} s  digest {parallel_digest[:16]}…  "
+          f"(workers spawned: {parallel.stats.workers_spawned}, "
+          f"crashes: {parallel.stats.worker_crashes}, "
+          f"timeouts: {parallel.stats.cell_timeouts})")
+    if parallel_digest != serial_digest:
+        diverging = sorted(
+            key for key in serial.results
+            if json.dumps(serial.results[key], sort_keys=True)
+            != json.dumps(parallel.results.get(key), sort_keys=True)
+        )
+        print(f"FAIL: parallel run diverged from serial in "
+              f"{len(diverging)} cell(s): {diverging[:5]}", file=sys.stderr)
+        return 1
+    print("determinism: ok (parallel byte-identical to serial)")
+
+    # -- baseline digest -----------------------------------------------------
+    digest_key = f"digest_{label}"
+    if args.update_baseline:
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError):
+            baseline = {}
+        baseline.update({
+            "workload": f"cache sweep + chaos grid, scale={SCALE:g}",
+            "cells_full": len(full_grid()),
+            "cells_quick": len(quick_grid()),
+            digest_key: serial_digest,
+        })
+        with open(args.baseline, "w") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated: {args.baseline} ({digest_key})")
+        return 0
+
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        print(f"FAIL: no baseline at {args.baseline}; run with "
+              f"--update-baseline first", file=sys.stderr)
+        return 1
+    expected = baseline.get(digest_key)
+    if expected is None:
+        print(f"FAIL: baseline has no {digest_key!r}; run this mode with "
+              f"--update-baseline", file=sys.stderr)
+        return 1
+    if serial_digest != expected:
+        print(f"FAIL: result digest {serial_digest} does not match the "
+              f"baseline {expected} — simulation results changed; update "
+              f"the baseline if intentional", file=sys.stderr)
+        return 1
+    print("baseline digest: ok")
+
+    # -- speedup (core-aware) ------------------------------------------------
+    if args.quick:
+        print("speedup: skipped (--quick checks determinism only)")
+        return 0
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cores = effective_cores(jobs)
+    if cores < 2:
+        print(f"speedup: {speedup:.2f}x at --jobs {jobs} on {cores} core(s) "
+              f"— floor not enforceable on a single-core machine")
+        return 0
+    floor = min(3.0, 0.75 * cores)
+    verdict = "ok" if speedup >= floor else "REGRESSION"
+    print(f"speedup: {speedup:.2f}x at --jobs {jobs} on {cores} cores "
+          f"(floor {floor:.2f}x) -> {verdict}")
+    if speedup < floor:
+        print(f"FAIL: parallel speedup {speedup:.2f}x is below the "
+              f"{floor:.2f}x floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

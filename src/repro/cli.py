@@ -142,6 +142,7 @@ def _run_oracle(args: argparse.Namespace) -> int:
         fault_seed=getattr(args, "fault_seed", 7),
         system=system,
         trace_dir=getattr(args, "trace_out", None),
+        jobs=getattr(args, "jobs", 1),
     )
     for cell in report.cells:
         verdict = "ok" if cell.passed else "MISMATCH"
@@ -271,23 +272,31 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     checkpoint = getattr(args, "checkpoint", None)
+    jobs = getattr(args, "jobs", 1)
     if checkpoint is None and getattr(args, "resume", False):
         raise ReproError("--resume requires --checkpoint PATH")
-    if checkpoint is not None:
-        # Crash-safe path: run cell by cell, checkpointing each result
-        # atomically; --resume restores completed cells after a kill.
+    if checkpoint is not None or jobs > 1:
+        # Crash-safe / parallel path: run cell by cell, checkpointing each
+        # result atomically; --resume restores completed cells after a
+        # kill; --jobs N shards cells across the supervised worker pool.
         from repro.harness.experiments import run_sweep_resumable
+        from repro.harness.report import format_supervisor_stats
 
         def progress(key: str, resumed: bool) -> None:
             print(f"  [{'resumed' if resumed else 'ran    '}] {key}")
 
+        stats_out: dict = {}
         sweep = run_sweep_resumable(
             args.kind,
             workload_scale=args.scale,
             checkpoint_path=checkpoint,
             resume=getattr(args, "resume", False),
             progress=progress,
+            jobs=jobs,
+            stats_out=stats_out,
         )
+        if stats_out:
+            print(format_supervisor_stats(stats_out))
     elif args.kind == "disks":
         sweep = run_disk_sweep((1, 2, 4, 10), workload_scale=args.scale)
     elif args.kind == "cache":
@@ -414,6 +423,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "vs spec-off and assert identical output and "
                             "demand-read sequences (all chaos profiles, or "
                             "just the one named by --chaos)")
+    run_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="with --oracle: run oracle cells on N "
+                            "supervised worker processes; 1 = serial")
     run_p.add_argument("--oracle-report", default=None, metavar="PATH",
                        dest="oracle_report",
                        help="write the oracle's JSON report to PATH")
@@ -465,6 +477,10 @@ def build_parser() -> argparse.ArgumentParser:
     sw_p.add_argument("--resume", action="store_true",
                       help="restore completed cells from --checkpoint "
                            "instead of re-running them")
+    sw_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="shard sweep cells across N supervised worker "
+                           "processes (crashed/hung cells are rescheduled, "
+                           "poisoned cells quarantined); 1 = serial")
     sw_p.set_defaults(func=cmd_sweep)
 
     trace_p = sub.add_parser(

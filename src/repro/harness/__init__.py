@@ -5,7 +5,12 @@ Builds complete simulated systems (disks -> striping -> cache/TIP -> kernel
 and formats the paper's tables and figures from the collected statistics.
 """
 
-from repro.harness.checkpoint import SweepCheckpoint, atomic_write_json, run_cells
+from repro.harness.checkpoint import (
+    SweepCheckpoint,
+    atomic_write_json,
+    flush_on_signals,
+    run_cells,
+)
 from repro.harness.config import ExperimentConfig, Variant
 from repro.harness.experiments import (
     run_cache_size_sweep,
@@ -13,8 +18,18 @@ from repro.harness.experiments import (
     run_disk_sweep,
     run_matrix,
     run_one,
+    run_sweep_cell,
     run_sweep_resumable,
     sweep_cells,
+)
+from repro.harness.parallel import (
+    run_cells_parallel,
+    sweep_parallel_cells,
+)
+from repro.harness.supervisor import (
+    Supervisor,
+    SupervisorConfig,
+    SupervisorOutcome,
 )
 from repro.harness.oracle import (
     OracleCell,
@@ -36,11 +51,18 @@ __all__ = [
     "run_disk_sweep",
     "run_cache_size_sweep",
     "run_cpu_ratio_sweep",
+    "run_sweep_cell",
     "run_sweep_resumable",
     "sweep_cells",
+    "sweep_parallel_cells",
     "SweepCheckpoint",
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisorOutcome",
     "atomic_write_json",
+    "flush_on_signals",
     "run_cells",
+    "run_cells_parallel",
     "OracleCell",
     "OracleReport",
     "run_oracle",

@@ -20,10 +20,13 @@ work already done.  This module makes that survivable:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
+import signal
 import tempfile
-from typing import Callable, Dict, List, Optional, Tuple
+import threading
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import CheckpointError
 from repro.harness.results import RunResult
@@ -32,12 +35,35 @@ from repro.harness.results import RunResult
 CHECKPOINT_VERSION = 1
 
 
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory's metadata so a just-renamed entry is durable.
+
+    ``os.replace`` makes the rename atomic with respect to readers, but a
+    power-loss-style kill can still roll it back unless the containing
+    directory is fsynced too.  Best-effort: filesystems that reject
+    directory fsync (some network mounts) keep the old guarantee.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        dir_fd = os.open(directory, flags)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
 def atomic_write_json(path: str, obj: object) -> None:
-    """Write ``obj`` as JSON to ``path`` atomically.
+    """Write ``obj`` as JSON to ``path`` atomically and durably.
 
     The temp file lives in the target's directory so ``os.replace`` is a
     same-filesystem rename: readers observe either the old complete file
-    or the new complete file, never a torn write.
+    or the new complete file, never a torn write.  After the rename the
+    containing directory is fsynced, so the new file survives a
+    power-loss-style kill as well as a process kill.
     """
     directory = os.path.dirname(os.path.abspath(path)) or "."
     fd, tmp_path = tempfile.mkstemp(
@@ -49,12 +75,59 @@ def atomic_write_json(path: str, obj: object) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        _fsync_directory(directory)
     except BaseException:
         try:
             os.unlink(tmp_path)
         except OSError:
             pass
         raise
+
+
+@contextlib.contextmanager
+def flush_on_signals(
+    flush: Callable[[], None],
+    signums: Tuple[int, ...] = (signal.SIGINT, signal.SIGTERM),
+) -> Iterator[None]:
+    """Install handlers that flush a checkpoint before dying.
+
+    A Ctrl-C'd (SIGINT) or terminated (SIGTERM) sweep flushes its
+    checkpoint and then exits the way the signal intended — SIGINT
+    re-raises as :class:`KeyboardInterrupt`, SIGTERM as ``SystemExit``
+    with the conventional ``128 + signum`` status — so the next
+    ``--resume`` restores every completed cell.  Outside the main thread
+    (where Python forbids installing handlers) this is a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    previous: Dict[int, object] = {}
+
+    def handler(signum: int, frame: object) -> None:
+        try:
+            flush()
+        finally:
+            for num, old in previous.items():
+                signal.signal(num, old)  # type: ignore[arg-type]
+        if signum == signal.SIGINT:
+            raise KeyboardInterrupt
+        raise SystemExit(128 + signum)
+
+    try:
+        for signum in signums:
+            previous[signum] = signal.signal(signum, handler)
+    except (ValueError, OSError):
+        # Embedded interpreter or exotic platform: run unguarded.
+        for num, old in previous.items():
+            signal.signal(num, old)  # type: ignore[arg-type]
+        yield
+        return
+    try:
+        yield
+    finally:
+        for num, old in previous.items():
+            signal.signal(num, old)  # type: ignore[arg-type]
 
 
 class SweepCheckpoint:
@@ -69,6 +142,11 @@ class SweepCheckpoint:
         self.path = path
         self.identity = identity
         self._cells: Dict[str, Dict[str, object]] = {}
+        #: Poisoned cells: key -> quarantine record (failure kinds and
+        #: tracebacks).  Kept separate from ``cells`` so resuming retries
+        #: them — quarantine documents a completed run, it is not a
+        #: permanent verdict on the cell.
+        self._quarantined: Dict[str, Dict[str, object]] = {}
 
     # -- persistence ----------------------------------------------------------
 
@@ -105,15 +183,27 @@ class SweepCheckpoint:
         if not isinstance(cells, dict):
             raise CheckpointError(f"checkpoint {path!r}: no cell table")
         checkpoint._cells = cells
+        quarantined = data.get("quarantined", {})
+        if not isinstance(quarantined, dict):
+            raise CheckpointError(f"checkpoint {path!r}: bad quarantine table")
+        checkpoint._quarantined = quarantined
         return checkpoint
 
     def flush(self) -> None:
-        """Persist the current state atomically."""
-        atomic_write_json(self.path, {
+        """Persist the current state atomically; typed error on failure."""
+        state: Dict[str, object] = {
             "version": CHECKPOINT_VERSION,
             "identity": self.identity,
             "cells": self._cells,
-        })
+        }
+        if self._quarantined:
+            state["quarantined"] = self._quarantined
+        try:
+            atomic_write_json(self.path, state)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot write checkpoint {self.path!r}: {exc}"
+            ) from exc
 
     # -- cells -----------------------------------------------------------------
 
@@ -128,20 +218,67 @@ class SweepCheckpoint:
 
     def record(self, key: str, result: RunResult) -> None:
         """Store one finished cell and flush the checkpoint to disk."""
-        self._cells[key] = result.to_jsonable()
+        self.record_payload(key, result.to_jsonable())
+
+    def record_payload(self, key: str, payload: Dict[str, object]) -> None:
+        """Store one finished cell's raw JSON payload and flush.
+
+        The parallel engine moves results between processes as jsonable
+        dicts; recording them verbatim keeps the checkpoint byte-identical
+        to one written by the serial path for the same cells.
+        """
+        self._cells[key] = payload
+        self._quarantined.pop(key, None)
         self.flush()
 
-    def result(self, key: str) -> RunResult:
+    def payload(self, key: str) -> Dict[str, object]:
+        """One cell's raw JSON payload; typed error when absent."""
         try:
-            data = self._cells[key]
+            return self._cells[key]
         except KeyError:
             raise CheckpointError(f"checkpoint has no cell {key!r}") from None
+
+    def result(self, key: str) -> RunResult:
+        data = self.payload(key)
         try:
             return RunResult.from_jsonable(data)
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(
                 f"checkpoint cell {key!r} is malformed: {exc}"
             ) from exc
+
+    # -- quarantine ------------------------------------------------------------
+
+    @property
+    def quarantined(self) -> Dict[str, Dict[str, object]]:
+        """Quarantine records of poisoned cells (read-only view)."""
+        return dict(self._quarantined)
+
+    def record_quarantine(self, key: str, record: Dict[str, object]) -> None:
+        """Mark one cell as poisoned (with its failure record) and flush."""
+        self._quarantined[key] = record
+        self.flush()
+
+    def merge_from(self, other: "SweepCheckpoint") -> int:
+        """Adopt cells from ``other`` (same identity) that we lack.
+
+        Returns the number of cells adopted.  Used by the parallel engine
+        to fold per-worker partial checkpoints into the main one; the
+        caller flushes once after merging every partial, so the merge is
+        atomic with respect to crashes (the main checkpoint is either the
+        old or the fully merged state).
+        """
+        if other.identity != self.identity:
+            raise CheckpointError(
+                f"cannot merge checkpoint of sweep {other.identity!r} "
+                f"into {self.identity!r}"
+            )
+        adopted = 0
+        for key, payload in other._cells.items():
+            if key not in self._cells:
+                self._cells[key] = payload
+                adopted += 1
+        return adopted
 
 
 def run_cells(
@@ -157,6 +294,8 @@ def run_cells(
     finished cell is checkpointed atomically; with ``resume`` also set,
     previously checkpointed cells are restored instead of re-run.
     ``progress`` (if given) is called with ``(key, was_resumed)`` per cell.
+    While a checkpoint is active, SIGINT/SIGTERM flush it before the
+    process exits, so an interrupted sweep resumes cleanly.
     """
     checkpoint: Optional[SweepCheckpoint] = None
     if checkpoint_path is not None:
@@ -168,17 +307,23 @@ def run_cells(
             checkpoint = SweepCheckpoint(checkpoint_path, identity)
             checkpoint.flush()
 
+    guard = (
+        flush_on_signals(checkpoint.flush)
+        if checkpoint is not None
+        else contextlib.nullcontext()
+    )
     results: Dict[str, RunResult] = {}
-    for key, thunk in cells:
-        if checkpoint is not None and key in checkpoint:
-            results[key] = checkpoint.result(key)
+    with guard:
+        for key, thunk in cells:
+            if checkpoint is not None and key in checkpoint:
+                results[key] = checkpoint.result(key)
+                if progress is not None:
+                    progress(key, True)
+                continue
+            result = thunk()
+            results[key] = result
+            if checkpoint is not None:
+                checkpoint.record(key, result)
             if progress is not None:
-                progress(key, True)
-            continue
-        result = thunk()
-        results[key] = result
-        if checkpoint is not None:
-            checkpoint.record(key, result)
-        if progress is not None:
-            progress(key, False)
+                progress(key, False)
     return results

@@ -156,6 +156,46 @@ def sweep_cells(kind: str, workload_scale: float = 1.0) -> List[Cell]:
     return cells
 
 
+def run_sweep_cell(
+    kind: str,
+    point: float,
+    app: str,
+    variant: Variant,
+    workload_scale: float,
+) -> RunResult:
+    """Run one sweep cell; mirrors the batch sweep drivers exactly.
+
+    Module-level (and argument-addressable) so the parallel engine can
+    ship the cell to a worker process by reference.
+    """
+    if kind == "disks":
+        system = SystemConfig()
+        system = system.replace(
+            array=dataclasses.replace(system.array, ndisks=int(point))
+        )
+        return run_one(app, variant, system=system,
+                       workload_scale=workload_scale)
+    if kind == "cache":
+        return run_experiment(ExperimentConfig(
+            app=app, variant=variant, cache_paper_mb=point,
+            workload_scale=workload_scale,
+        ))
+    # kind == "ratio": Figure 6's widened processor/disk gap, with the
+    # post-run cycle scaling applied before the cell is checkpointed.
+    system = SystemConfig()
+    system = system.replace(
+        array=dataclasses.replace(
+            system.array,
+            completion_delay_factor=float(point),
+            max_prefetches_per_disk=1,
+        )
+    )
+    result = run_one(app, variant, system=system,
+                     workload_scale=workload_scale)
+    result.cycles = int(result.cycles / point)
+    return result
+
+
 def _cell_thunk(
     kind: str,
     point: float,
@@ -163,35 +203,10 @@ def _cell_thunk(
     variant: Variant,
     workload_scale: float,
 ) -> Callable[[], RunResult]:
-    """One cell's runner; mirrors the batch sweep drivers exactly."""
+    """One cell's runner for the serial checkpointed path."""
 
     def run() -> RunResult:
-        if kind == "disks":
-            system = SystemConfig()
-            system = system.replace(
-                array=dataclasses.replace(system.array, ndisks=int(point))
-            )
-            return run_one(app, variant, system=system,
-                           workload_scale=workload_scale)
-        if kind == "cache":
-            return run_experiment(ExperimentConfig(
-                app=app, variant=variant, cache_paper_mb=point,
-                workload_scale=workload_scale,
-            ))
-        # kind == "ratio": Figure 6's widened processor/disk gap, with the
-        # post-run cycle scaling applied before the cell is checkpointed.
-        system = SystemConfig()
-        system = system.replace(
-            array=dataclasses.replace(
-                system.array,
-                completion_delay_factor=float(point),
-                max_prefetches_per_disk=1,
-            )
-        )
-        result = run_one(app, variant, system=system,
-                         workload_scale=workload_scale)
-        result.cycles = int(result.cycles / point)
-        return result
+        return run_sweep_cell(kind, point, app, variant, workload_scale)
 
     return run
 
@@ -202,21 +217,54 @@ def run_sweep_resumable(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     progress: Optional[Callable[[str, bool], None]] = None,
+    jobs: int = 1,
+    supervisor_config: Optional[object] = None,
+    stats_out: Optional[Dict[str, object]] = None,
 ) -> Dict[float, Matrix]:
     """Checkpointed equivalent of the batch sweep drivers.
 
     Runs cell by cell, checkpointing each finished cell atomically; with
     ``resume`` set, completed cells are restored from the checkpoint.  The
     reassembled nested mapping is identical to the batch drivers' output.
+
+    With ``jobs > 1`` the cells are sharded across the supervised worker
+    pool (see :mod:`repro.harness.parallel`): crashed and hung cells are
+    rescheduled, poisoned cells are quarantined, and per-worker partial
+    checkpoints make even a SIGKILL of this process resumable.  A
+    quarantined cell raises :class:`~repro.errors.QuarantinedCell` *after*
+    every other cell has completed and been checkpointed — the sweep's
+    work is preserved, only the assembly of the full matrix fails.
+    ``stats_out`` (if given) is filled with the supervisor's counters.
     """
     identity = f"sweep:{kind}:scale={workload_scale:g}"
-    flat = run_cells(
-        sweep_cells(kind, workload_scale),
-        checkpoint_path=checkpoint_path,
-        identity=identity,
-        resume=resume,
-        progress=progress,
-    )
+    if jobs > 1:
+        from repro.harness.parallel import (
+            require_complete,
+            run_cells_parallel,
+            sweep_parallel_cells,
+        )
+        outcome = run_cells_parallel(
+            sweep_parallel_cells(kind, workload_scale),
+            jobs=jobs,
+            checkpoint_path=checkpoint_path,
+            identity=identity,
+            resume=resume,
+            progress=progress,
+            config=supervisor_config,
+        )
+        if stats_out is not None:
+            stats_out.update(outcome.stats.to_jsonable())
+        require_complete(outcome, what=f"{kind} sweep")
+        flat = {key: RunResult.from_jsonable(payload)
+                for key, payload in outcome.results.items()}
+    else:
+        flat = run_cells(
+            sweep_cells(kind, workload_scale),
+            checkpoint_path=checkpoint_path,
+            identity=identity,
+            resume=resume,
+            progress=progress,
+        )
     results: Dict[float, Matrix] = {}
     for point in SWEEP_POINTS[kind]:
         matrix: Matrix = {}

@@ -79,6 +79,22 @@ class OracleCell:
     def profile_name(self) -> str:
         return self.profile or "fault-free"
 
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "OracleCell":
+        """Rebuild a cell from a parallel worker's JSON payload."""
+        cell = cls(
+            app=str(payload["app"]),
+            profile=(str(payload["profile"])
+                     if payload.get("profile") is not None else None),
+            passed=bool(payload["passed"]),
+            detail=str(payload.get("detail", "")),
+        )
+        if "original" in payload:
+            cell.original = RunResult.from_jsonable(payload["original"])  # type: ignore[arg-type]
+        if "speculating" in payload:
+            cell.speculating = RunResult.from_jsonable(payload["speculating"])  # type: ignore[arg-type]
+        return cell
+
     def to_jsonable(self) -> Dict[str, object]:
         entry: Dict[str, object] = {
             "app": self.app,
@@ -196,6 +212,7 @@ def run_oracle(
     strict: bool = False,
     analysis_optimize: bool = False,
     trace_dir: Optional[str] = None,
+    jobs: int = 1,
 ) -> OracleReport:
     """Differential oracle over an app x chaos-profile grid.
 
@@ -203,7 +220,18 @@ def run_oracle(
     :class:`OracleMismatch`; otherwise every cell is collected into the
     report for the caller to inspect.  ``trace_dir`` enables per-cell
     divergence trace dumps (see :func:`run_oracle_cell`).
+
+    With ``jobs > 1`` the (app, profile) cells run under the supervised
+    parallel pool; each cell is still the same two same-seed runs, so the
+    report is identical to a serial one.  A cell the supervisor had to
+    quarantine (repeated crash/hang) is reported as a failed cell with
+    its failure record — an oracle run never silently drops a cell.
     """
+    if jobs > 1:
+        return _run_oracle_parallel(
+            apps, profiles, workload_scale, fault_seed, strict,
+            analysis_optimize, trace_dir, jobs, system,
+        )
     report = OracleReport()
     for app in apps:
         for profile in profiles:
@@ -218,4 +246,52 @@ def run_oracle(
                 raise OracleMismatch(
                     f"{app} under {cell.profile_name}: {cell.detail}"
                 )
+    return report
+
+
+def _run_oracle_parallel(
+    apps: Sequence[str],
+    profiles: Sequence[Optional[str]],
+    workload_scale: float,
+    fault_seed: int,
+    strict: bool,
+    analysis_optimize: bool,
+    trace_dir: Optional[str],
+    jobs: int,
+    system: Optional[SystemConfig],
+) -> OracleReport:
+    """Shard oracle cells across the supervised worker pool."""
+    from repro.harness.parallel import (
+        run_cells_parallel,
+        run_oracle_cell_payload,
+    )
+
+    cells = []
+    keys: List[Tuple[str, str, Optional[str]]] = []
+    for app in apps:
+        for profile in profiles:
+            key = f"oracle/{app}/{profile or 'fault-free'}"
+            keys.append((key, app, profile))
+            cells.append((key, run_oracle_cell_payload,
+                          (app, profile, workload_scale, fault_seed,
+                           analysis_optimize, trace_dir, system)))
+    outcome = run_cells_parallel(cells, jobs=jobs, identity="oracle")
+
+    report = OracleReport()
+    for key, app, profile in keys:  # serial report order, not arrival order
+        if key in outcome.results:
+            cell = OracleCell.from_payload(outcome.results[key])
+        else:
+            record = outcome.quarantined.get(key, {})
+            failures = record.get("failures", [])
+            cell = OracleCell(
+                app=app, profile=profile, passed=False,
+                detail=(f"quarantined after {len(failures)} supervisor "  # type: ignore[arg-type]
+                        f"failures (crash/hang); see checkpoint record"),
+            )
+        report.cells.append(cell)
+        if strict and not cell.passed:
+            raise OracleMismatch(
+                f"{app} under {cell.profile_name}: {cell.detail}"
+            )
     return report

@@ -1,0 +1,360 @@
+"""Parallel sweep engine: shard sealed simulation cells across workers.
+
+Every sweep cell (one ``(sweep point, app, variant)`` triple), oracle
+cell, and chaos cell is a sealed deterministic simulation — independent
+seeding means any subset can run anywhere, in any order, and merge into
+a result set byte-identical to a serial run.  That is exactly the "cell
+as the unit of parallelism" model of Simics' threading commands, and it
+makes the cells safe to shard across processes.
+
+This module is the policy layer above :mod:`repro.harness.supervisor`:
+
+* it turns sweep / oracle / chaos grids into picklable cell specs whose
+  runners return ``RunResult.to_jsonable()`` payloads;
+* it integrates the crash-safe :class:`SweepCheckpoint`: the parent
+  records every completed cell, workers keep per-slot partial
+  checkpoints (``<path>.worker-<slot>``), and both parent- and
+  worker-SIGKILLs resume without recomputation because the parent merges
+  partials back into the main checkpoint atomically on the next run;
+* it degrades gracefully: ``jobs <= 1`` or a pool that fails to start
+  runs the exact serial path, same results, same checkpoint format.
+
+The determinism guard (tests + ``benchmarks/bench_parallel_sweep.py``)
+asserts the parallel result set is byte-identical to serial across all
+chaos profiles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import glob
+import os
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import CheckpointError, QuarantinedCell
+from repro.harness.checkpoint import SweepCheckpoint, flush_on_signals
+from repro.harness.config import ExperimentConfig, Variant
+from repro.harness.supervisor import (
+    CellSpec,
+    Supervisor,
+    SupervisorConfig,
+    SupervisorOutcome,
+    SupervisorStats,
+)
+
+#: Payload a cell runner returns: a JSON-safe dict (RunResult or oracle
+#: cell serialization) that crosses the result pipe verbatim.
+Payload = Dict[str, object]
+
+
+# ---------------------------------------------------------------------------
+# Cell runners (module-level: pickled by reference into workers)
+# ---------------------------------------------------------------------------
+
+def run_sweep_cell_payload(
+    kind: str,
+    point: float,
+    app: str,
+    variant_value: str,
+    workload_scale: float,
+) -> Payload:
+    """One sweep cell, serialized for the result pipe."""
+    from repro.harness.experiments import run_sweep_cell
+
+    result = run_sweep_cell(kind, point, app, Variant(variant_value),
+                            workload_scale)
+    return result.to_jsonable()
+
+
+def run_chaos_cell_payload(
+    app: str,
+    variant_value: str,
+    profile: Optional[str],
+    workload_scale: float,
+    fault_seed: int,
+) -> Payload:
+    """One chaos-matrix cell (app x variant under one fault profile)."""
+    from repro.harness.runner import run_experiment
+
+    result = run_experiment(ExperimentConfig(
+        app=app,
+        variant=Variant(variant_value),
+        workload_scale=workload_scale,
+        fault_profile=profile,
+        fault_seed=fault_seed,
+    ))
+    return result.to_jsonable()
+
+
+def run_oracle_cell_payload(
+    app: str,
+    profile: Optional[str],
+    workload_scale: float,
+    fault_seed: int,
+    analysis_optimize: bool,
+    trace_dir: Optional[str],
+    system: Optional[object] = None,
+) -> Payload:
+    """One differential-oracle cell, both variants serialized.
+
+    ``system`` is an optional :class:`~repro.params.SystemConfig` — a
+    plain frozen dataclass, so it ships to the worker by value.
+    """
+    from repro.harness.oracle import run_oracle_cell
+
+    cell = run_oracle_cell(
+        app, profile, workload_scale=workload_scale, fault_seed=fault_seed,
+        analysis_optimize=analysis_optimize, trace_dir=trace_dir,
+        system=system,  # type: ignore[arg-type]
+    )
+    payload: Payload = {
+        "app": cell.app,
+        "profile": cell.profile,
+        "passed": cell.passed,
+        "detail": cell.detail,
+    }
+    if cell.original is not None:
+        payload["original"] = cell.original.to_jsonable()
+    if cell.speculating is not None:
+        payload["speculating"] = cell.speculating.to_jsonable()
+    return payload
+
+
+def sweep_parallel_cells(
+    kind: str, workload_scale: float = 1.0
+) -> List[CellSpec]:
+    """Picklable cell specs of one sweep (same keys as the serial path)."""
+    from repro.harness.config import APPS
+    from repro.harness.experiments import SWEEP_POINTS
+
+    if kind not in SWEEP_POINTS:
+        raise ValueError(
+            f"unknown sweep kind {kind!r}; expected one of {sorted(SWEEP_POINTS)}"
+        )
+    cells: List[CellSpec] = []
+    for point in SWEEP_POINTS[kind]:
+        for app in APPS:
+            for variant in tuple(Variant):
+                key = f"{kind}={point:g}/{app}/{variant.value}"
+                cells.append((key, run_sweep_cell_payload,
+                              (kind, point, app, variant.value,
+                               workload_scale)))
+    return cells
+
+
+def chaos_parallel_cells(
+    apps: Tuple[str, ...],
+    profiles: Tuple[Optional[str], ...],
+    variants: Tuple[Variant, ...] = tuple(Variant),
+    workload_scale: float = 1.0,
+    fault_seed: int = 7,
+) -> List[CellSpec]:
+    """Cell specs of an app x variant x chaos-profile matrix."""
+    cells: List[CellSpec] = []
+    for profile in profiles:
+        for app in apps:
+            for variant in variants:
+                key = f"chaos={profile or 'fault-free'}/{app}/{variant.value}"
+                cells.append((key, run_chaos_cell_payload,
+                              (app, variant.value, profile, workload_scale,
+                               fault_seed)))
+    return cells
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+def _partial_paths(checkpoint_path: str) -> List[str]:
+    return sorted(glob.glob(glob.escape(checkpoint_path) + ".worker-*"))
+
+
+def merge_worker_partials(
+    checkpoint: SweepCheckpoint,
+    on_event: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Fold per-worker partial checkpoints into the main one.
+
+    Cells recorded by workers that outlived (or died with) a killed
+    parent are adopted, the merged state is flushed atomically, and the
+    partial files are deleted.  Idempotent: re-running after a crash
+    mid-merge re-adopts the same deterministic cells.  Returns the
+    number of cells adopted.
+    """
+    adopted = 0
+    partials = _partial_paths(checkpoint.path)
+    for path in partials:
+        try:
+            partial = SweepCheckpoint.load(path, checkpoint.identity)
+        except CheckpointError as exc:
+            if on_event is not None:
+                on_event(f"ignoring stale partial {path!r}: {exc}")
+            continue
+        adopted += checkpoint.merge_from(partial)
+    if adopted:
+        checkpoint.flush()
+    for path in partials:
+        with contextlib.suppress(OSError):
+            os.unlink(path)
+    return adopted
+
+
+def run_cells_parallel(
+    cells: List[CellSpec],
+    jobs: int,
+    checkpoint_path: Optional[str] = None,
+    identity: str = "sweep",
+    resume: bool = False,
+    progress: Optional[Callable[[str, bool], None]] = None,
+    config: Optional[SupervisorConfig] = None,
+    on_event: Optional[Callable[[str], None]] = None,
+) -> SupervisorOutcome:
+    """Run cell specs under the supervised pool, checkpointing results.
+
+    The parallel counterpart of :func:`repro.harness.checkpoint.run_cells`
+    — same checkpoint file, same identity rules, same resume semantics —
+    plus supervision: crashed and hung cells are rescheduled, poisoned
+    cells are quarantined instead of sinking the sweep, and SIGINT /
+    SIGTERM flush the checkpoint before exiting.  With ``jobs <= 1`` (or
+    when the worker pool cannot start) the cells run serially in-process
+    with identical results.
+    """
+    if on_event is None:
+        def on_event(message: str) -> None:
+            print(f"  [supervisor] {message}", file=sys.stderr)
+
+    config = config or SupervisorConfig()
+    if config.jobs != jobs:
+        import dataclasses
+
+        config = dataclasses.replace(config, jobs=jobs)
+
+    checkpoint: Optional[SweepCheckpoint] = None
+    if checkpoint_path is not None:
+        if resume and os.path.exists(checkpoint_path):
+            checkpoint = SweepCheckpoint.load(checkpoint_path, identity)
+        else:
+            checkpoint = SweepCheckpoint(checkpoint_path, identity)
+            checkpoint.flush()
+            # A fresh (non-resume) start owns the namespace: stale
+            # partials from an abandoned run must not leak in later.
+            for path in _partial_paths(checkpoint_path):
+                with contextlib.suppress(OSError):
+                    os.unlink(path)
+        merge_worker_partials(checkpoint, on_event=on_event)
+
+    # Restore already-completed cells before any worker spawns.
+    restored: Dict[str, Payload] = {}
+    remaining: List[CellSpec] = []
+    for spec in cells:
+        key = spec[0]
+        if checkpoint is not None and key in checkpoint:
+            restored[key] = checkpoint.payload(key)
+            if progress is not None:
+                progress(key, True)
+        else:
+            remaining.append(spec)
+
+    guard = (
+        flush_on_signals(checkpoint.flush)
+        if checkpoint is not None
+        else contextlib.nullcontext()
+    )
+    with guard:
+        if jobs <= 1:
+            outcome = _run_cells_serial(remaining, checkpoint, progress,
+                                        config)
+        else:
+            outcome = _run_cells_supervised(remaining, checkpoint, progress,
+                                            config, identity, on_event)
+
+    outcome.results.update(restored)
+    outcome.stats.cells_restored = len(restored)
+    if checkpoint is not None:
+        merge_worker_partials(checkpoint, on_event=on_event)
+    return outcome
+
+
+def _run_cells_supervised(
+    cells: List[CellSpec],
+    checkpoint: Optional[SweepCheckpoint],
+    progress: Optional[Callable[[str, bool], None]],
+    config: SupervisorConfig,
+    identity: str,
+    on_event: Callable[[str], None],
+) -> SupervisorOutcome:
+    def on_result(key: str, payload: Payload) -> None:
+        if checkpoint is not None:
+            checkpoint.record_payload(key, payload)
+        if progress is not None:
+            progress(key, False)
+
+    def on_quarantine(key: str, record: Dict[str, object]) -> None:
+        if checkpoint is not None:
+            checkpoint.record_quarantine(key, record)
+
+    partial_path_for: Optional[Callable[[int], str]] = None
+    if checkpoint is not None:
+        base = checkpoint.path
+
+        def _partial_for(slot: int) -> str:
+            return f"{base}.worker-{slot}"
+
+        partial_path_for = _partial_for
+
+    supervisor = Supervisor(
+        cells, config, identity=identity,
+        partial_path_for=partial_path_for,
+        on_result=on_result, on_quarantine=on_quarantine, on_event=on_event,
+    )
+    try:
+        supervisor.start()
+    except Exception as exc:  # pool startup failure: degrade, don't die
+        on_event(f"worker pool failed to start ({exc!r}); "
+                 f"degrading to serial execution")
+        return _run_cells_serial(cells, checkpoint, progress, config)
+    return supervisor.run()
+
+
+def _run_cells_serial(
+    cells: List[CellSpec],
+    checkpoint: Optional[SweepCheckpoint],
+    progress: Optional[Callable[[str, bool], None]],
+    config: SupervisorConfig,
+) -> SupervisorOutcome:
+    """The graceful-degradation path: same cells, same checkpointing."""
+    outcome = SupervisorOutcome(
+        stats=SupervisorStats(mode="serial", jobs=1)
+    )
+    for key, fn, args in cells:
+        payload = fn(*args)
+        outcome.results[key] = payload
+        outcome.stats.cells_completed += 1
+        if checkpoint is not None:
+            checkpoint.record_payload(key, payload)
+        if progress is not None:
+            progress(key, False)
+    return outcome
+
+
+def require_complete(outcome: SupervisorOutcome, what: str = "sweep") -> None:
+    """Raise typed :class:`QuarantinedCell` when any cell was poisoned.
+
+    Called by consumers that need the *complete* result set (matrix
+    assembly, report formatting).  The message carries each quarantined
+    cell's final traceback tail so the failure is diagnosable from the
+    one-line CLI error; the full records live in the checkpoint.
+    """
+    if not outcome.quarantined:
+        return
+    lines = []
+    for key, record in sorted(outcome.quarantined.items()):
+        tb = str(record.get("traceback", "")).strip().splitlines()
+        last = tb[-1] if tb else "unknown failure"
+        failures = record.get("failures", [])
+        lines.append(f"{key!r} ({len(failures)} failures; last: {last})")
+    raise QuarantinedCell(
+        f"{what} completed with {len(outcome.quarantined)} quarantined "
+        f"cell(s): " + "; ".join(lines)
+    )

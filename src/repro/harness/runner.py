@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.apps.agrep import AgrepWorkload, build_agrep
 from repro.apps.gnuld import GnuldWorkload, build_gnuld
@@ -86,6 +87,25 @@ def build_system(
                   kernel, injector, tracer)
 
 
+#: Callbacks invoked with every freshly wired :class:`System` just before
+#: its kernel starts running.  The parallel sweep supervisor's worker
+#: registers one to expose the live sim clock to its heartbeat thread —
+#: the hung-cell watchdog judges health by sim-cycle progress, which is
+#: only observable from inside the run.
+_SYSTEM_OBSERVERS: List[Callable[[System], None]] = []
+
+
+def add_system_observer(callback: Callable[[System], None]) -> None:
+    """Register a callback to see every system built by this process."""
+    _SYSTEM_OBSERVERS.append(callback)
+
+
+def remove_system_observer(callback: Callable[[System], None]) -> None:
+    """Unregister a callback added by :func:`add_system_observer`."""
+    with contextlib.suppress(ValueError):
+        _SYSTEM_OBSERVERS.remove(callback)
+
+
 def _build_postgres(selectivity_pct: int):
     from repro.apps.postgres import PostgresWorkload, build_postgres
 
@@ -148,6 +168,8 @@ def run_experiment_with_system(
 
     system = build_system(system_config, fs, fault_plan=cfg.resolved_fault_plan(),
                           tracer=tracer)
+    for observer in _SYSTEM_OBSERVERS:
+        observer(system)
     process = system.kernel.spawn(binary)
     system.kernel.run()
     system.manager.finalize()

@@ -2,6 +2,11 @@
 
 import json
 import os
+import signal
+import stat
+import subprocess
+import sys
+import time
 
 import pytest
 
@@ -10,6 +15,7 @@ from repro.harness.checkpoint import (
     CHECKPOINT_VERSION,
     SweepCheckpoint,
     atomic_write_json,
+    flush_on_signals,
     run_cells,
 )
 from repro.harness.experiments import SWEEP_POINTS, sweep_cells
@@ -42,6 +48,84 @@ class TestAtomicWrite:
     def test_no_temp_litter_on_success(self, tmp_path):
         atomic_write_json(str(tmp_path / "out.json"), [1, 2, 3])
         assert sorted(p.name for p in tmp_path.iterdir()) == ["out.json"]
+
+    def test_fsyncs_file_and_containing_directory(self, tmp_path, monkeypatch):
+        """Durability needs two fsyncs: the temp file's data before the
+        rename, and the directory's metadata after it — otherwise a
+        power-loss-style kill can roll the rename back."""
+        synced = []
+        real_fsync = os.fsync
+
+        def recording_fsync(fd):
+            synced.append(stat.S_ISDIR(os.fstat(fd).st_mode))
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", recording_fsync)
+        atomic_write_json(str(tmp_path / "out.json"), {"a": 1})
+        assert synced == [False, True]  # file data first, then directory
+
+    def test_directory_fsync_failure_is_best_effort(self, tmp_path,
+                                                    monkeypatch):
+        real_fsync = os.fsync
+
+        def flaky_fsync(fd):
+            if stat.S_ISDIR(os.fstat(fd).st_mode):
+                raise OSError("EINVAL: fsync on directory unsupported")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", flaky_fsync)
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"a": 1})  # must not raise
+        with open(path) as handle:
+            assert json.load(handle) == {"a": 1}
+
+    def test_crash_window_never_corrupts(self, tmp_path):
+        """SIGKILL a writer loop at random points; the target file must
+        always hold one complete, valid JSON state — never a torn write."""
+        path = str(tmp_path / "state.json")
+        script = (
+            "import sys, time\n"
+            f"sys.path.insert(0, {os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), 'src')!r})\n"
+            "from repro.harness.checkpoint import atomic_write_json\n"
+            "i = 0\n"
+            "while True:\n"
+            f"    atomic_write_json({path!r}, {{'gen': i, 'pad': 'x' * 4096}})\n"
+            "    i += 1\n"
+        )
+        for attempt in range(5):
+            process = subprocess.Popen(
+                [sys.executable, "-c", script],
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            )
+            try:
+                time.sleep(0.05 + 0.03 * attempt)  # vary the kill point
+            finally:
+                process.kill()
+                process.wait(timeout=30)
+            if not os.path.exists(path):
+                continue  # killed before the first write completed
+            with open(path) as handle:
+                state = json.load(handle)  # raises if torn
+            assert set(state) == {"gen", "pad"}
+            assert len(state["pad"]) == 4096
+
+
+class TestFlushOnSignals:
+    def test_sigterm_flushes_then_exits_with_143(self):
+        flushed = []
+        with pytest.raises(SystemExit) as excinfo, \
+                flush_on_signals(lambda: flushed.append("yes")):
+            os.kill(os.getpid(), signal.SIGTERM)
+            time.sleep(1)  # handler fires before the sleep finishes
+            pytest.fail("SIGTERM handler did not fire")
+        assert excinfo.value.code == 128 + signal.SIGTERM
+        assert flushed == ["yes"]
+
+    def test_handlers_restored_after_scope(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with flush_on_signals(lambda: None):
+            assert signal.getsignal(signal.SIGTERM) is not before
+        assert signal.getsignal(signal.SIGTERM) is before
 
 
 class TestRunResultRoundtrip:
@@ -111,6 +195,62 @@ class TestSweepCheckpoint:
         checkpoint = SweepCheckpoint(str(tmp_path / "c.json"), "x")
         with pytest.raises(CheckpointError, match="no cell"):
             checkpoint.result("absent")
+
+    def test_missing_payload_is_typed_error(self, tmp_path):
+        checkpoint = SweepCheckpoint(str(tmp_path / "c.json"), "x")
+        with pytest.raises(CheckpointError, match="no cell"):
+            checkpoint.payload("absent")
+
+    def test_malformed_cell_is_typed_error(self, tmp_path):
+        checkpoint = SweepCheckpoint(str(tmp_path / "c.json"), "x")
+        checkpoint.record_payload("broken", {"not": "a RunResult"})
+        with pytest.raises(CheckpointError, match="malformed"):
+            checkpoint.result("broken")
+
+    def test_unwritable_flush_is_typed_error(self, tmp_path):
+        missing_dir = tmp_path / "no" / "such" / "dir"
+        checkpoint = SweepCheckpoint(str(missing_dir / "c.json"), "x")
+        with pytest.raises(CheckpointError, match="cannot write"):
+            checkpoint.flush()
+
+    def test_bad_quarantine_table_is_typed_error(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({
+            "version": CHECKPOINT_VERSION, "identity": "x", "cells": {},
+            "quarantined": ["not", "a", "dict"],
+        }))
+        with pytest.raises(CheckpointError, match="quarantine table"):
+            SweepCheckpoint.load(str(path), "x")
+
+    def test_quarantine_roundtrip_and_clear_on_success(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        checkpoint = SweepCheckpoint(path, "x")
+        record = {"status": "QUARANTINED", "failures": [], "traceback": "tb"}
+        checkpoint.record_quarantine("poisoned", record)
+
+        reloaded = SweepCheckpoint.load(path, "x")
+        assert reloaded.quarantined == {"poisoned": record}
+        assert "poisoned" not in reloaded  # quarantine is not a result
+
+        # A later success supersedes the quarantine record.
+        reloaded.record_payload("poisoned", {"value": 1})
+        assert SweepCheckpoint.load(path, "x").quarantined == {}
+
+    def test_merge_from_adopts_only_missing_cells(self, tmp_path):
+        main = SweepCheckpoint(str(tmp_path / "a.json"), "x")
+        main.record_payload("shared", {"value": 1})
+        other = SweepCheckpoint(str(tmp_path / "b.json"), "x")
+        other.record_payload("shared", {"value": 999})
+        other.record_payload("extra", {"value": 2})
+        assert main.merge_from(other) == 1
+        assert main.payload("shared") == {"value": 1}  # ours wins
+        assert main.payload("extra") == {"value": 2}
+
+    def test_merge_from_identity_mismatch_is_typed_error(self, tmp_path):
+        main = SweepCheckpoint(str(tmp_path / "a.json"), "sweep-a")
+        other = SweepCheckpoint(str(tmp_path / "b.json"), "sweep-b")
+        with pytest.raises(CheckpointError, match="cannot merge"):
+            main.merge_from(other)
 
 
 class _Killed(Exception):
