@@ -19,9 +19,10 @@ Commands
     interpretation) over a benchmark binary and print the store/transfer
     classification report; ``--lint`` exits non-zero on error findings.
 
-``sweep {disks,cache,ratio}``
+``sweep {disks,cache,ratio,degraded}``
     Regenerate one of the paper's sweep experiments (Figure 5 / Table 7 /
-    Figure 6) and print the series.
+    Figure 6) and print the series; ``degraded`` sweeps the storage fault
+    regime (healthy vs. disk-death vs. rebuild-storm) instead.
 
 ``trace APP [--categories C,...] [--export {jsonl,chrome}] [--out PATH]
 [--summary] [--top-hints N]``
@@ -47,10 +48,12 @@ from repro.harness.config import ALL_APPS, ExperimentConfig, Variant
 from repro.harness.experiments import (
     run_cache_size_sweep,
     run_cpu_ratio_sweep,
+    run_degraded_sweep,
     run_disk_sweep,
 )
 from repro.harness.runner import run_experiment
 from repro.harness.tables import (
+    format_degraded_sweep,
     format_improvement_series,
     format_table7,
     format_table8,
@@ -113,8 +116,29 @@ def cmd_run(args: argparse.Namespace) -> int:
         if result.watchdog_tripped:
             print(f"  watchdog:         tripped ({result.watchdog_tripped}); "
                   f"speculation disabled, run completed vanilla")
+        if result.disk_deaths:
+            print(f"  degraded mode:    {result.disk_deaths} disk death(s), "
+                  f"{result.degraded_reads} degraded reads, "
+                  f"{result.reconstructed_blocks} blocks reconstructed")
+            print(f"  hedging:          {result.hedges_issued} issued, "
+                  f"{result.hedges_won} won")
+            if result.rebuild_completed:
+                done_s = result.rebuild_completed_cycle / result.cpu_hz
+                print(f"  rebuild:          complete at {done_s:.3f} s "
+                      f"({result.rebuild_blocks} blocks resilvered)")
+            else:
+                print("  rebuild:          INCOMPLETE")
+            print(f"  load shedding:    {result.prefetches_shed_degraded} "
+                  f"prefetches shed while degraded")
         for name, value in result.fault_events().items():
             print(f"    {name:40s} {value}")
+        per_disk = result.per_disk_io_counters()
+        if per_disk:
+            for disk_id in sorted(per_disk):
+                counters = per_disk[disk_id]
+                detail = ", ".join(f"{name} {counters[name]}"
+                                   for name in sorted(counters))
+                print(f"    disk {disk_id}: {detail}")
     return 0
 
 
@@ -302,6 +326,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     elif args.kind == "cache":
         sweep = run_cache_size_sweep((6.0, 12.0, 32.0),
                                      workload_scale=args.scale)
+    elif args.kind == "degraded":
+        sweep = run_degraded_sweep(workload_scale=args.scale)
     else:
         sweep = run_cpu_ratio_sweep((1, 3, 5, 9), workload_scale=args.scale)
 
@@ -311,6 +337,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(format_improvement_series(sweep, "number of disks"))
     elif args.kind == "cache":
         print(format_table7(sweep))
+    elif args.kind == "degraded":
+        print(format_degraded_sweep(sweep))
     else:
         print(format_improvement_series(sweep, "processor/disk speed ratio"))
     return 0
@@ -344,6 +372,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         tracer,
         lifecycle=getattr(system.manager, "lifecycle", None),
         breakdown=stall_breakdown(system.kernel),
+        result=result,
     )
 
     out = args.out
@@ -469,7 +498,7 @@ def build_parser() -> argparse.ArgumentParser:
     an_p.set_defaults(func=cmd_analyze)
 
     sw_p = sub.add_parser("sweep", help="regenerate a sweep experiment")
-    sw_p.add_argument("kind", choices=("disks", "cache", "ratio"))
+    sw_p.add_argument("kind", choices=("disks", "cache", "ratio", "degraded"))
     sw_p.add_argument("--scale", type=float, default=1.0)
     sw_p.add_argument("--checkpoint", default=None, metavar="PATH",
                       help="checkpoint finished cells to PATH (atomic "

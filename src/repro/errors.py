@@ -64,6 +64,18 @@ class RetriesExhausted(FaultError):
     """A demand read kept failing after every allowed retry attempt."""
 
 
+class DataLossError(FaultError):
+    """A stripe row became unrecoverable — data is gone, not merely slow.
+
+    Raised when a block lives on a permanently dead disk and the array has
+    no redundancy, or when a second disk dies before the rebuild resilvered
+    the row (the classic RAID-5 double fault).  This is the one storage
+    failure that must be *loud*: silently returning stale or zeroed blocks
+    would corrupt application output, so every path that discovers an
+    unrecoverable row raises this typed error instead of degrading.
+    """
+
+
 # ---------------------------------------------------------------------------
 # File system substrate
 # ---------------------------------------------------------------------------

@@ -30,6 +30,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 FAULT_TRANSIENT = "transient"
 FAULT_OFFLINE = "offline"
 FAULT_TIMEOUT = "timeout"
+#: The disk is permanently dead: it never comes back, the array must
+#: reconstruct from parity (or declare data loss).
+FAULT_DEAD = "dead"
+#: Terminal marker set by the array when a block is unrecoverable.
+FAULT_DATA_LOSS = "data-loss"
 
 
 class FaultInjector:
@@ -58,6 +63,8 @@ class FaultInjector:
         self._slow_hi = self._slow_lo + cpu.cycles(plan.slow_duration_s)
         self._offline_lo = cpu.cycles(plan.offline_start_s)
         self._offline_hi = self._offline_lo + cpu.cycles(plan.offline_duration_s)
+        self._dead_at = cpu.cycles(plan.dead_at_s)
+        self._second_dead_at = cpu.cycles(plan.second_dead_at_s)
 
     def _disk_rng(self, disk_id: int) -> DeterministicRng:
         rng = self._disk_rngs.get(disk_id)
@@ -75,6 +82,15 @@ class FaultInjector:
             and self._offline_lo <= now < self._offline_hi
         )
 
+    def disk_dead(self, disk_id: int, now: int) -> bool:
+        """Has ``disk_id`` died permanently by cycle ``now``?"""
+        plan = self.plan
+        if plan.dead_disk == disk_id and now >= self._dead_at:
+            return True
+        return (
+            plan.second_dead_disk == disk_id and now >= self._second_dead_at
+        )
+
     def on_disk_service(
         self, disk_id: int, request: "IORequest", service_cycles: int
     ) -> Tuple[int, Optional[str]]:
@@ -85,6 +101,12 @@ class FaultInjector:
         """
         plan = self.plan
         now = self.clock.now
+
+        if self.disk_dead(disk_id, now):
+            # The controller gives up almost immediately: no media access,
+            # the drive does not answer at all.
+            self.stats.counter("faults.disk_dead_rejects").add()
+            return max(1, int(service_cycles * 0.02)), FAULT_DEAD
 
         if self.disk_offline(disk_id, now):
             # Fail fast: the controller rejects after a fraction of the

@@ -22,7 +22,16 @@ The built-in :data:`PROFILES` are the chaos modes the harness and the
   reaching TIP; hinting degrades toward the unhinted baseline;
 * ``restart-storm`` — the original thread is forced to judge speculation
   off track almost every read; the speculation watchdog must eventually
-  disable speculation entirely.
+  disable speculation entirely;
+* ``disk-death`` — one disk dies permanently mid-run; the parity array
+  reconstructs degraded reads from the survivors while the rebuild engine
+  resilvers onto a hot spare, and output stays byte-identical;
+* ``rebuild-storm`` — an early disk death with an aggressive rebuild
+  bandwidth share plus background transient errors; demand traffic,
+  reconstruction, and the resilver all contend for the surviving disks;
+* ``double-fault`` — a second disk dies before the rebuild can finish;
+  the stripe rows are unrecoverable and the run must fail loudly with a
+  typed :class:`~repro.errors.DataLossError`, never silently corrupt.
 """
 
 from __future__ import annotations
@@ -58,6 +67,25 @@ class FaultPlan:
     offline_start_s: float = 0.0
     offline_duration_s: float = 0.0
 
+    #: Disk that dies *permanently* (-1 = none).  Unlike an offline window
+    #: it never comes back: the array must reconstruct its blocks from
+    #: parity and resilver onto a hot spare.
+    dead_disk: int = -1
+    dead_at_s: float = 0.0
+
+    #: A second permanent death (the RAID-5 double fault).  If it lands
+    #: before the first rebuild finishes, affected rows are unrecoverable
+    #: and the run fails with a typed DataLossError.
+    second_dead_disk: int = -1
+    second_dead_at_s: float = 0.0
+
+    #: Rebuild bandwidth share override (0 = use the array's default).
+    rebuild_share: float = 0.0
+
+    #: Arm a hedged (duplicate reconstruction-path) read this many seconds
+    #: after each demand dispatch (0 = hedging off).
+    hedge_after_s: float = 0.0
+
     # -- hint channel faults -------------------------------------------------
 
     #: Probability a TIPIO_* hint is silently lost before reaching TIP.
@@ -80,10 +108,25 @@ class FaultPlan:
             self.disk_error_rate > 0.0
             or (self.slow_factor != 1.0 and self.slow_duration_s > 0.0)
             or (self.offline_disk >= 0 and self.offline_duration_s > 0.0)
+            or self.dead_disk >= 0
             or self.hint_drop_rate > 0.0
             or self.hint_corrupt_rate > 0.0
             or self.spec_divergence_rate > 0.0
         )
+
+    @property
+    def permanent_death(self) -> bool:
+        """True when the plan kills at least one disk for good."""
+        return self.dead_disk >= 0
+
+    @property
+    def expects_data_loss(self) -> bool:
+        """True when the plan is *designed* to lose data (double fault).
+
+        Such plans must end in a typed DataLossError rather than output
+        identity — the oracle and benchmarks treat them accordingly.
+        """
+        return self.dead_disk >= 0 and self.second_dead_disk >= 0
 
     def with_seed(self, seed: int) -> "FaultPlan":
         """The same plan driven by a different fault seed."""
@@ -117,6 +160,27 @@ PROFILES: Dict[str, FaultPlan] = {
     "restart-storm": FaultPlan(
         name="restart-storm",
         spec_divergence_rate=0.99,
+    ),
+    "disk-death": FaultPlan(
+        name="disk-death",
+        dead_disk=1,
+        dead_at_s=0.004,
+        hedge_after_s=0.004,
+    ),
+    "rebuild-storm": FaultPlan(
+        name="rebuild-storm",
+        dead_disk=0,
+        dead_at_s=0.0005,
+        rebuild_share=0.9,
+        disk_error_rate=0.02,
+        hedge_after_s=0.004,
+    ),
+    "double-fault": FaultPlan(
+        name="double-fault",
+        dead_disk=0,
+        dead_at_s=0.0005,
+        second_dead_disk=2,
+        second_dead_at_s=0.002,
     ),
 }
 

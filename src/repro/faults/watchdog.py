@@ -17,6 +17,14 @@ run, falling back to vanilla execution:
 A limit of 0 disables that trigger.  The defaults are generous enough that
 none of the paper's benchmarks ever trip the watchdog; the chaos profiles
 (notably ``restart-storm``) exist to trip it on purpose.
+
+Distinct from tripping, the watchdog also carries a *resumable* degraded-
+mode suspension: while the storage array is degraded (a disk died and the
+rebuild has not finished), speculation's prefetch appetite only competes
+with reconstruction and resilver traffic, so the runtime suspends
+speculative execution via :meth:`set_degraded` and resumes it when the
+rebuild completes.  Suspension is policy, not a safety trip — it clears
+itself, and never sets ``disabled``.
 """
 
 from __future__ import annotations
@@ -52,6 +60,11 @@ class SpeculationWatchdog:
         self.disabled = False
         self.trip_reason: Optional[str] = None
 
+        #: Resumable degraded-mode suspension (storage array lost a disk).
+        self.suspended = False
+        #: Lifetime count of degraded-mode suspensions.
+        self.suspensions = 0
+
     # -- signal intake -------------------------------------------------------
 
     def note_check(self, matched: bool) -> bool:
@@ -86,6 +99,21 @@ class SpeculationWatchdog:
             return self._trip("fault_storm")
         return False
 
+    def set_degraded(self, degraded: bool) -> Optional[str]:
+        """Track the array's degraded state; returns the transition.
+
+        Returns ``"suspended"`` when speculation should pause, ``"resumed"``
+        when it may continue, or None when nothing changed.
+        """
+        if degraded and not self.suspended:
+            self.suspended = True
+            self.suspensions += 1
+            return "suspended"
+        if not degraded and self.suspended:
+            self.suspended = False
+            return "resumed"
+        return None
+
     # -- state ---------------------------------------------------------------
 
     @property
@@ -103,6 +131,8 @@ class SpeculationWatchdog:
 
     def __repr__(self) -> str:
         state = f"tripped:{self.trip_reason}" if self.disabled else "armed"
+        if self.suspended:
+            state += ",suspended"
         return (
             f"SpeculationWatchdog({state}, restarts={self.restarts}, "
             f"faults={self.faults}, accuracy={self.sliding_accuracy:.2f})"

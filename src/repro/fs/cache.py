@@ -178,6 +178,13 @@ class BlockCache:
         self.stats.counter(metrics.CACHE_BLOCK_READS).add()
         return entry
 
+    def note_prefetch_shed(self, origin: FetchOrigin) -> None:
+        """Record a prefetch the manager declined to start while the array
+        was degraded (load shedding, not a failure)."""
+        self.stats.counter(
+            metrics.CACHE_SHED_DEGRADED_PREFIX + origin.value
+        ).add()
+
     def pin(self, key: BlockKey) -> None:
         """Protect an entry from eviction (e.g. hinted within the horizon)."""
         self._entries[key].pinned += 1

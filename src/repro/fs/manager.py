@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
-from repro.errors import RetriesExhausted
+from repro.errors import DataLossError, RetriesExhausted
 from repro.fs.cache import BlockCache, BlockKey, CacheEntry, EntryState, FetchOrigin
 from repro.fs.filesystem import FileSystem, Inode
 from repro.fs.readahead import ReadAheadState, SequentialReadAhead
@@ -92,10 +92,15 @@ class CacheManagerBase:
         """Demand reads must not be refused: exhausted retries are a hard,
         typed failure (never silent data corruption)."""
         if request.failed:
+            cause = StripedArray.failure_cause(request)
+            if isinstance(cause, DataLossError):
+                # Unrecoverable, not merely slow: surface the loss directly
+                # (retrying cannot bring a dead disk's blocks back).
+                raise cause
             raise RetriesExhausted(
                 f"demand read for lbn {request.lbn} failed after "
                 f"{request.attempts} attempts"
-            ) from StripedArray.failure_cause(request)
+            ) from cause
 
     def peek_valid(self, inode: Inode, file_block: int) -> bool:
         """Non-blocking residency check (used by speculative reads).
@@ -117,6 +122,13 @@ class CacheManagerBase:
         read-ahead (the paper's policy); managers may add more."""
         if not hinted:
             for file_block in self.readahead.on_read(ra_state, inode, first_block, last_block):
+                if self.array.degraded:
+                    # Load shedding: sequential read-ahead is a pure
+                    # performance bet, and while a dead disk is being
+                    # reconstructed every speculative read competes with
+                    # demand and rebuild traffic.  Skip it for the duration.
+                    self.cache.note_prefetch_shed(FetchOrigin.READAHEAD)
+                    continue
                 self.start_prefetch(inode, file_block, FetchOrigin.READAHEAD)
         self.after_read(pid)
 

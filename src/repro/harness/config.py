@@ -86,7 +86,13 @@ class ExperimentConfig:
         return plan if plan.active else None
 
     def resolved_system(self) -> SystemConfig:
-        """System config with cache size and disk time scale resolved."""
+        """System config with cache size and disk time scale resolved.
+
+        A fault plan that kills a disk permanently forces redundancy on: a
+        plain striped array cannot survive it, so the array is switched to
+        rotating parity with at least one hot spare unless the caller
+        already configured redundancy explicitly.
+        """
         system = self.system
         if self.cache_paper_mb is not None:
             cache = dataclasses.replace(
@@ -98,6 +104,18 @@ class ExperimentConfig:
             from repro.params import DiskParams
 
             system = system.replace(disk=DiskParams.scaled(self.disk_time_scale))
+        plan = self.resolved_fault_plan()
+        if (
+            plan is not None
+            and plan.permanent_death
+            and system.array.redundancy == "none"
+        ):
+            array = dataclasses.replace(
+                system.array,
+                redundancy="parity",
+                hot_spares=max(1, system.array.hot_spares),
+            )
+            system = system.replace(array=array)
         return system
 
     def with_(self, **kwargs: object) -> "ExperimentConfig":

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.harness.checkpoint import run_cells
 from repro.harness.config import APPS, ExperimentConfig, Variant
@@ -124,15 +124,59 @@ def run_cpu_ratio_sweep(
     return results
 
 
+def run_degraded_sweep(
+    profiles: Iterable[str] = ("none", "disk-death", "rebuild-storm"),
+    apps: Iterable[str] = APPS,
+    variants: Iterable[Variant] = tuple(Variant),
+    workload_scale: float = 1.0,
+) -> Dict[str, Matrix]:
+    """Vary the storage fault regime — healthy vs. degraded-mode runs.
+
+    ``"none"`` is the healthy baseline; permanent-death profiles run with
+    auto-enabled parity redundancy (see ``resolved_system``), so each cell
+    completes through degraded reads and background rebuild rather than
+    failing.  The resulting matrix quantifies the degraded-mode slowdown
+    and how much speculation still helps while the array rebuilds.
+    """
+    results: Dict[str, Matrix] = {}
+    for profile in profiles:
+        matrix: Matrix = {}
+        for app in apps:
+            matrix[app] = {}
+            for variant in variants:
+                matrix[app][variant.value] = run_experiment(
+                    ExperimentConfig(
+                        app=app,
+                        variant=variant,
+                        fault_profile=None if profile == "none" else profile,
+                        workload_scale=workload_scale,
+                    )
+                )
+        results[profile] = matrix
+    return results
+
+
 #: One independently runnable sweep cell: (key, thunk).
 Cell = Tuple[str, Callable[[], RunResult]]
 
+#: One sweep-axis value: numeric (disks/cache/ratio) or a fault-profile
+#: name (degraded).
+SweepPoint = Union[float, str]
+
 #: Sweep-point values matching the CLI's ``sweep`` command.
-SWEEP_POINTS: Dict[str, Tuple[float, ...]] = {
+SWEEP_POINTS: Dict[str, Tuple[SweepPoint, ...]] = {
     "disks": (1, 2, 4, 10),
     "cache": (6.0, 12.0, 32.0),
     "ratio": (1, 3, 5, 9),
+    "degraded": ("none", "disk-death", "rebuild-storm"),
 }
+
+
+def point_label(point: SweepPoint) -> str:
+    """Stable cell-key rendering of a sweep point (numbers via ``%g``)."""
+    if isinstance(point, str):
+        return point
+    return f"{point:g}"
 
 
 def sweep_cells(kind: str, workload_scale: float = 1.0) -> List[Cell]:
@@ -150,7 +194,7 @@ def sweep_cells(kind: str, workload_scale: float = 1.0) -> List[Cell]:
     for point in SWEEP_POINTS[kind]:
         for app in APPS:
             for variant in tuple(Variant):
-                key = f"{kind}={point:g}/{app}/{variant.value}"
+                key = f"{kind}={point_label(point)}/{app}/{variant.value}"
                 cells.append((key, _cell_thunk(kind, point, app, variant,
                                                workload_scale)))
     return cells
@@ -158,7 +202,7 @@ def sweep_cells(kind: str, workload_scale: float = 1.0) -> List[Cell]:
 
 def run_sweep_cell(
     kind: str,
-    point: float,
+    point: SweepPoint,
     app: str,
     variant: Variant,
     workload_scale: float,
@@ -177,7 +221,14 @@ def run_sweep_cell(
                        workload_scale=workload_scale)
     if kind == "cache":
         return run_experiment(ExperimentConfig(
-            app=app, variant=variant, cache_paper_mb=point,
+            app=app, variant=variant, cache_paper_mb=float(point),
+            workload_scale=workload_scale,
+        ))
+    if kind == "degraded":
+        profile = str(point)
+        return run_experiment(ExperimentConfig(
+            app=app, variant=variant,
+            fault_profile=None if profile == "none" else profile,
             workload_scale=workload_scale,
         ))
     # kind == "ratio": Figure 6's widened processor/disk gap, with the
@@ -192,13 +243,13 @@ def run_sweep_cell(
     )
     result = run_one(app, variant, system=system,
                      workload_scale=workload_scale)
-    result.cycles = int(result.cycles / point)
+    result.cycles = int(result.cycles / float(point))
     return result
 
 
 def _cell_thunk(
     kind: str,
-    point: float,
+    point: SweepPoint,
     app: str,
     variant: Variant,
     workload_scale: float,
@@ -220,7 +271,7 @@ def run_sweep_resumable(
     jobs: int = 1,
     supervisor_config: Optional[object] = None,
     stats_out: Optional[Dict[str, object]] = None,
-) -> Dict[float, Matrix]:
+) -> Dict[SweepPoint, Matrix]:
     """Checkpointed equivalent of the batch sweep drivers.
 
     Runs cell by cell, checkpointing each finished cell atomically; with
@@ -265,13 +316,13 @@ def run_sweep_resumable(
             resume=resume,
             progress=progress,
         )
-    results: Dict[float, Matrix] = {}
+    results: Dict[SweepPoint, Matrix] = {}
     for point in SWEEP_POINTS[kind]:
         matrix: Matrix = {}
         for app in APPS:
             matrix[app] = {}
             for variant in tuple(Variant):
-                key = f"{kind}={point:g}/{app}/{variant.value}"
+                key = f"{kind}={point_label(point)}/{app}/{variant.value}"
                 matrix[app][variant.value] = flat[key]
         results[point] = matrix
     return results

@@ -25,7 +25,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import OracleMismatch
+from repro.errors import DataLossError, OracleMismatch
 from repro.faults.plan import PROFILES
 from repro.harness.config import ExperimentConfig, Variant
 from repro.harness.results import RunResult
@@ -176,23 +176,48 @@ def run_oracle_cell(
             Variant.ORIGINAL: Tracer(SimClock()),
             Variant.SPECULATING: Tracer(SimClock()),
         }
-        original = run_experiment(base.with_(variant=Variant.ORIGINAL),
-                                  tracer=tracers[Variant.ORIGINAL])
-        speculating = run_experiment(base.with_(variant=Variant.SPECULATING),
-                                     tracer=tracers[Variant.SPECULATING])
-    else:
-        original = run_experiment(base.with_(variant=Variant.ORIGINAL))
-        speculating = run_experiment(base.with_(variant=Variant.SPECULATING))
+
+    def _run(variant: Variant) -> "tuple[Optional[RunResult], Optional[DataLossError]]":
+        cfg = base.with_(variant=variant)
+        try:
+            if variant in tracers:
+                return run_experiment(cfg, tracer=tracers[variant]), None
+            return run_experiment(cfg), None
+        except DataLossError as exc:
+            # Unrecoverable faults (double-fault profiles) are a legitimate,
+            # *symmetric* outcome: both variants must fail the same way.
+            return None, exc
+
+    original, original_loss = _run(Variant.ORIGINAL)
+    speculating, speculating_loss = _run(Variant.SPECULATING)
 
     cell = OracleCell(app=app, profile=profile, passed=True,
                       original=original, speculating=speculating)
-    if speculating.output != original.output:
+    expects_loss = profile is not None and PROFILES[profile].expects_data_loss
+    if original_loss is not None and speculating_loss is not None:
+        cell.detail = (f"both variants raised DataLossError "
+                       f"({'expected' if expects_loss else 'UNEXPECTED'} "
+                       f"for this profile)")
+        cell.passed = expects_loss
+    elif original_loss is not None or speculating_loss is not None:
+        side = "original" if original_loss is not None else "speculating"
+        loss = original_loss if original_loss is not None else speculating_loss
         cell.passed = False
-        cell.detail = _first_output_diff(original.output, speculating.output)
-    elif speculating.read_trace != original.read_trace:
+        cell.detail = (f"asymmetric data loss: only the {side} variant "
+                       f"raised DataLossError ({loss})")
+    elif expects_loss:
         cell.passed = False
-        cell.detail = _first_trace_diff(original.read_trace,
-                                        speculating.read_trace)
+        cell.detail = ("expected both variants to raise DataLossError "
+                       "(double-fault profile), but both completed")
+    else:
+        assert original is not None and speculating is not None
+        if speculating.output != original.output:
+            cell.passed = False
+            cell.detail = _first_output_diff(original.output, speculating.output)
+        elif speculating.read_trace != original.read_trace:
+            cell.passed = False
+            cell.detail = _first_trace_diff(original.read_trace,
+                                            speculating.read_trace)
     if trace_dir is not None and not cell.passed:
         os.makedirs(trace_dir, exist_ok=True)
         stem = f"{app}-{cell.profile_name}"

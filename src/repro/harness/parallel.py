@@ -54,7 +54,7 @@ Payload = Dict[str, object]
 
 def run_sweep_cell_payload(
     kind: str,
-    point: float,
+    point: object,
     app: str,
     variant_value: str,
     workload_scale: float,
@@ -62,7 +62,7 @@ def run_sweep_cell_payload(
     """One sweep cell, serialized for the result pipe."""
     from repro.harness.experiments import run_sweep_cell
 
-    result = run_sweep_cell(kind, point, app, Variant(variant_value),
+    result = run_sweep_cell(kind, point, app, Variant(variant_value),  # type: ignore[arg-type]
                             workload_scale)
     return result.to_jsonable()
 
@@ -126,7 +126,7 @@ def sweep_parallel_cells(
 ) -> List[CellSpec]:
     """Picklable cell specs of one sweep (same keys as the serial path)."""
     from repro.harness.config import APPS
-    from repro.harness.experiments import SWEEP_POINTS
+    from repro.harness.experiments import SWEEP_POINTS, point_label
 
     if kind not in SWEEP_POINTS:
         raise ValueError(
@@ -136,7 +136,7 @@ def sweep_parallel_cells(
     for point in SWEEP_POINTS[kind]:
         for app in APPS:
             for variant in tuple(Variant):
-                key = f"{kind}={point:g}/{app}/{variant.value}"
+                key = f"{kind}={point_label(point)}/{app}/{variant.value}"
                 cells.append((key, run_sweep_cell_payload,
                               (kind, point, app, variant.value,
                                workload_scale)))

@@ -178,7 +178,11 @@ class RunResult:
                       "array.faulted_attempts", "array.demand_failures",
                       "array.prefetches_dropped", "cache.prefetches_dropped",
                       "cache.fetch_failures", "tip.prefetches_dropped",
-                      "spec.watchdog", "spec.isolation", "spec.quarantine")
+                      "spec.watchdog", "spec.isolation", "spec.quarantine",
+                      "array.disk_deaths", "array.degraded_reads",
+                      "array.reconstructed_blocks", "array.hedges",
+                      "rebuild.", "tip.prefetches_shed_degraded",
+                      "cache.shed_degraded.", "spec.degraded")
 
     def fault_events(self) -> Dict[str, int]:
         """Every fault / retry / degradation counter the run recorded.
@@ -210,6 +214,89 @@ class RunResult:
     @property
     def prefetches_dropped(self) -> int:
         return self.c(metrics.CACHE_PREFETCHES_DROPPED)
+
+    # Degraded mode / redundancy ------------------------------------------------
+
+    @property
+    def disk_deaths(self) -> int:
+        return self.c(metrics.ARRAY_DISK_DEATHS)
+
+    @property
+    def degraded_reads(self) -> int:
+        return self.c(metrics.ARRAY_DEGRADED_READS)
+
+    @property
+    def reconstructed_blocks(self) -> int:
+        return self.c(metrics.ARRAY_RECONSTRUCTED_BLOCKS)
+
+    @property
+    def hedges_issued(self) -> int:
+        return self.c(metrics.ARRAY_HEDGES_ISSUED)
+
+    @property
+    def hedges_won(self) -> int:
+        return self.c(metrics.ARRAY_HEDGES_WON)
+
+    @property
+    def rebuild_completed(self) -> bool:
+        return self.c(metrics.REBUILD_COMPLETED) > 0
+
+    @property
+    def rebuild_completed_cycle(self) -> int:
+        """Sim-clock cycle at which the (last) rebuild finished resilvering
+        (0 when no rebuild ran to completion)."""
+        return self.c(metrics.REBUILD_COMPLETED_CYCLE)
+
+    @property
+    def rebuild_blocks(self) -> int:
+        return self.c(metrics.REBUILD_BLOCKS)
+
+    @property
+    def workload_cycles(self) -> int:
+        """Cycles until the workload itself finished.  Equal to ``cycles``
+        unless a rebuild outlived the workload, in which case ``cycles``
+        additionally covers the rebuild drain tail."""
+        return self.c(metrics.WORKLOAD_COMPLETED_CYCLE) or self.cycles
+
+    @property
+    def workload_elapsed_s(self) -> float:
+        """Simulated seconds until the workload finished (see
+        :attr:`workload_cycles`)."""
+        return self.workload_cycles / self.cpu_hz
+
+    @property
+    def data_loss_events(self) -> int:
+        return self.c(metrics.FAULTS_DATA_LOSS)
+
+    @property
+    def prefetches_shed_degraded(self) -> int:
+        """Speculative load shed while degraded (TIP + readahead origins)."""
+        shed = self.c(metrics.TIP_PREFETCHES_SHED_DEGRADED)
+        for name, value in self.counters.items():
+            if name.startswith(metrics.CACHE_SHED_DEGRADED_PREFIX):
+                shed += value
+        return shed
+
+    def per_disk_io_counters(self) -> Dict[int, Dict[str, int]]:
+        """Per-disk I/O health: retries / timeouts / hedges by disk id.
+
+        Parsed back out of the ``disk<N>.<suffix>`` counters; disks with
+        no recorded events are absent.
+        """
+        suffixes = (metrics.DISK_RETRIES_SUFFIX, metrics.DISK_TIMEOUTS_SUFFIX,
+                    metrics.DISK_HEDGES_SUFFIX)
+        table: Dict[int, Dict[str, int]] = {}
+        for name, value in self.counters.items():
+            if not name.startswith(metrics.DISK_PREFIX) or not value:
+                continue
+            head, _, suffix = name.partition(".")
+            if suffix not in suffixes:
+                continue
+            digits = head[len(metrics.DISK_PREFIX):]
+            if not digits.isdigit():
+                continue
+            table.setdefault(int(digits), {})[suffix] = value
+        return table
 
     # Section 4.4 dilation ------------------------------------------------------
 

@@ -172,6 +172,16 @@ def run_experiment_with_system(
         observer(system)
     process = system.kernel.spawn(binary)
     system.kernel.run()
+    # A rebuild that outlives the workload finishes on the sim clock here,
+    # so its completion time lands in the run's deterministic results.  The
+    # workload-completion cycle is recorded first (only in this case, so
+    # fault-free counter snapshots are unchanged): total cycles then cover
+    # workload + drain, and consumers comparing against a healthy run need
+    # the pre-drain mark to measure demand-path slowdown.
+    if system.array.rebuild_active:
+        system.stats.counter(metrics.WORKLOAD_COMPLETED_CYCLE).add(
+            system.clock.now)
+        system.array.drain_rebuild()
     system.manager.finalize()
 
     read_dist = system.stats.distribution_or_none(metrics.APP_READ_CALL_CPU)

@@ -8,7 +8,10 @@ advancing), or fail the same cell every time they touch it.  The
 
 * **heartbeats** — each worker runs a daemon thread that reports its
   in-flight cell's *simulation progress* (systems built, sim cycles)
-  over the shared result pipe a few times per second;
+  over its private result queue a few times per second (one queue per
+  worker: a shared queue's cross-process write lock is a non-robust
+  semaphore, and a worker SIGKILLed while holding it would wedge every
+  other worker's channel);
 * **hung-cell watchdog** — a cell whose reported sim progress does not
   change within ``stall_deadline_s`` is declared hung; its worker is
   killed and the cell rescheduled.  The deadline is a *sim-progress*
@@ -262,6 +265,9 @@ class _Worker:
     slot: int
     process: "multiprocessing.Process"
     task_queue: "multiprocessing.Queue"
+    #: This worker's private result/heartbeat channel (see
+    #: ``_spawn_worker`` for why it must not be shared).
+    result_queue: "multiprocessing.Queue" = None  # type: ignore[assignment]
     cell: Optional[CellSpec] = None
     #: Last heartbeat progress value and when it last *changed*.
     last_progress: object = None
@@ -308,7 +314,6 @@ class Supervisor:
         )
 
         self._ctx = multiprocessing.get_context(config.resolved_start_method())
-        self._result_queue: Optional[multiprocessing.Queue] = None
         self._workers: Dict[int, _Worker] = {}
         self._next_worker_id = 0
         self._pool_failures = 0  # consecutive deaths without a completed cell
@@ -318,27 +323,35 @@ class Supervisor:
     def start(self) -> None:
         """Spawn the pool.  Raises on startup failure (caller may then
         degrade to the serial path — the run has not begun)."""
-        self._result_queue = self._ctx.Queue()
         for slot in range(self.config.jobs):
             self._spawn_worker(slot)
 
     def _spawn_worker(self, slot: int) -> _Worker:
-        assert self._result_queue is not None
         self._next_worker_id += 1
         worker_id = self._next_worker_id
         task_queue: multiprocessing.Queue = self._ctx.Queue()
+        # One result queue PER worker, never shared.  A shared queue
+        # serializes every worker's feeder thread through one
+        # cross-process write lock, and that lock is a plain (non-robust)
+        # POSIX semaphore: a worker SIGKILLed while its feeder holds it
+        # leaves the lock held forever, silently wedging every *other*
+        # worker's heartbeats and results.  With a dedicated queue a
+        # dying worker can only poison its own channel, which the parent
+        # discards when it reaps the death.
+        result_queue: multiprocessing.Queue = self._ctx.Queue()
         partial = (self.partial_path_for(slot)
                    if self.partial_path_for is not None else None)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(worker_id, slot, task_queue, self._result_queue,
+            args=(worker_id, slot, task_queue, result_queue,
                   self.config.heartbeat_interval_s, partial, self.identity),
             name=f"sweep-worker-{slot}",
             daemon=True,
         )
         process.start()
         worker = _Worker(worker_id=worker_id, slot=slot, process=process,
-                         task_queue=task_queue, last_change=time.monotonic())
+                         task_queue=task_queue, result_queue=result_queue,
+                         last_change=time.monotonic())
         self._workers[worker_id] = worker
         self.outcome.stats.workers_spawned += 1
         return worker
@@ -357,7 +370,6 @@ class Supervisor:
         return len(self.outcome.results) + len(self.outcome.quarantined)
 
     def _loop(self) -> None:
-        assert self._result_queue is not None
         total = len(self._cells)
         tick = max(0.02, self.config.heartbeat_interval_s / 2.0)
         while self._accounted() < total:
@@ -399,17 +411,25 @@ class Supervisor:
         return None
 
     def _drain_messages(self, timeout_s: float) -> None:
-        assert self._result_queue is not None
-        try:
-            message = self._result_queue.get(timeout=timeout_s)
-        except queue_mod.Empty:
-            return
+        # Sweep every worker's private channel; sleep one tick only when
+        # the whole pool was silent, so a busy pool drains at full speed.
+        drained_any = False
+        for worker in list(self._workers.values()):
+            drained_any |= self._drain_worker_queue(worker.result_queue)
+        if not drained_any:
+            time.sleep(timeout_s)
+
+    def _drain_worker_queue(self, result_queue: "multiprocessing.Queue") -> bool:
+        drained = False
         while True:
-            self._handle_message(message)
             try:
-                message = self._result_queue.get_nowait()
+                message = result_queue.get_nowait()
             except queue_mod.Empty:
-                return
+                return drained
+            except (OSError, ValueError, EOFError):
+                return drained  # channel torn down mid-drain
+            drained = True
+            self._handle_message(message)
 
     def _handle_message(self, message: Tuple[object, ...]) -> None:
         kind = message[0]
@@ -505,6 +525,10 @@ class Supervisor:
             if worker.process.is_alive():
                 continue
             del self._workers[worker.worker_id]
+            # Final best-effort drain: a "done" the worker delivered just
+            # before dying must still count.
+            self._drain_worker_queue(worker.result_queue)
+            self._discard_queue(worker.result_queue)
             self.outcome.stats.worker_crashes += 1
             self._pool_failures += 1
             if worker.cell is not None:
@@ -531,6 +555,17 @@ class Supervisor:
     def _kill_worker(self, worker: _Worker) -> None:
         del self._workers[worker.worker_id]
         with_suppress_kill(worker.process)
+        # A watchdog-killed worker's channel is stale by definition (no
+        # progress for a full deadline) — discard it unread.
+        self._discard_queue(worker.result_queue)
+
+    @staticmethod
+    def _discard_queue(result_queue: "multiprocessing.Queue") -> None:
+        try:
+            result_queue.cancel_join_thread()
+            result_queue.close()
+        except (OSError, ValueError):
+            pass
 
     def _shutdown(self) -> None:
         for worker in self._workers.values():
@@ -543,11 +578,8 @@ class Supervisor:
             worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
             if worker.process.is_alive():
                 with_suppress_kill(worker.process)
+            self._discard_queue(worker.result_queue)
         self._workers.clear()
-        if self._result_queue is not None:
-            self._result_queue.cancel_join_thread()
-            self._result_queue.close()
-            self._result_queue = None
 
     def _emit(self, message: str) -> None:
         if self.on_event is not None:

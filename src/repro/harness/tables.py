@@ -206,6 +206,49 @@ def format_table8(sweep: Mapping[int, Matrix]) -> str:
     return "\n".join(lines)
 
 
+def format_degraded_sweep(sweep: Mapping[str, Matrix]) -> str:
+    """Degraded-mode extension: slowdown and recovery work per profile.
+
+    One row per (app, fault regime): elapsed time and slowdown vs the
+    healthy (``none``) baseline of the same app/variant, plus the degraded
+    work performed (reconstruction reads, rebuild completion, hedges, shed
+    prefetches).
+    """
+    lines = [
+        "Degraded-mode sweep - elapsed time and recovery work per fault regime",
+        _hr(100),
+        f"{'':14}{'regime':>14} {'orig':>9} {'spec':>9} "
+        f"{'slowdown':>9} {'recon':>7} {'hedgeW':>7} {'shed':>6}  rebuild",
+    ]
+    baseline = sweep.get("none")
+    apps = list(next(iter(sweep.values())).keys())
+    for app in apps:
+        for profile, matrix in sweep.items():
+            results = matrix[app]
+            original = results["original"]
+            spec = results["speculating"]
+            slowdown = 0.0
+            if baseline is not None and profile != "none":
+                healthy = baseline[app]["speculating"].elapsed_s
+                if healthy > 0:
+                    slowdown = spec.elapsed_s / healthy
+            if spec.rebuild_completed:
+                done_s = spec.rebuild_completed_cycle / spec.cpu_hz
+                rebuild = f"done @{done_s:.3f}s ({spec.rebuild_blocks} blk)"
+            elif spec.disk_deaths:
+                rebuild = "incomplete"
+            else:
+                rebuild = "-"
+            lines.append(
+                f"{APP_LABEL.get(app, app):14}{profile:>14} "
+                f"{original.elapsed_s:>8.2f}s {spec.elapsed_s:>8.2f}s "
+                f"{(f'{slowdown:.2f}x' if slowdown else '-'):>9} "
+                f"{spec.reconstructed_blocks:>7} {spec.hedges_won:>7} "
+                f"{spec.prefetches_shed_degraded:>6}  {rebuild}"
+            )
+    return "\n".join(lines)
+
+
 def format_improvement_series(
     sweep: Mapping[object, Matrix], xlabel: str
 ) -> str:

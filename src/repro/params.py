@@ -185,6 +185,32 @@ class ArrayParams:
     #: injector is attached (0 disables).  ~0.5 s at the paper's 233 MHz.
     request_timeout_cycles: int = 120_000_000
 
+    # -- redundancy / degraded mode -----------------------------------------
+
+    #: Redundancy scheme: "none" (the paper's plain striping) or "parity"
+    #: (RAID-5-style rotating parity; any single-disk loss is survivable).
+    #: Parity changes the block layout, so it is strictly opt-in — the
+    #: harness enables it automatically for fault plans with a dead disk.
+    redundancy: str = "none"
+
+    #: Spare disks appended to the array; a dead disk's contents are
+    #: resilvered onto a spare by the background rebuild engine.
+    hot_spares: int = 0
+
+    #: Fraction of a rebuilt row's service time the rebuild engine is
+    #: allowed to consume — the rest is idle, yielding the disks to demand
+    #: traffic.  1.0 rebuilds flat-out; small values rebuild gently.
+    rebuild_bandwidth_share: float = 0.25
+
+    #: Arm a hedged (duplicate, reconstruction-path) read this many cycles
+    #: after a demand read is dispatched; first completion wins and the
+    #: loser is cancelled.  0 disables.  Requires parity and an injector.
+    hedge_after_cycles: int = 0
+
+    #: Fixed CPU cost charged for XOR-ing one block back together from its
+    #: parity row (reconstruction and rebuild both pay it).
+    reconstruct_xor_cycles: int = 4096
+
 
 @dataclass(frozen=True)
 class CacheParams:
@@ -218,6 +244,15 @@ class TipParams:
 
     #: Maximum hinted prefetches TIP keeps in flight per disk.
     max_inflight_per_disk: int = 4
+
+    #: While the array is degraded or rebuilding, scale the prefetch depth
+    #: TIP pursues by this factor (load shedding: demand and rebuild
+    #: traffic win; speculation is only ever a performance hint).
+    degraded_horizon_factor: float = 0.25
+
+    #: Per-disk in-flight prefetch cap while degraded (0 = keep the normal
+    #: cap).
+    degraded_max_inflight_per_disk: int = 1
 
 
 @dataclass(frozen=True)
@@ -279,6 +314,12 @@ class SpecHintParams:
 
     #: Number of recent hint-log checks in the accuracy window.
     watchdog_accuracy_window: int = 256
+
+    #: Degraded-mode policy: suspend speculation (resumably, unlike a
+    #: watchdog trip) while the storage array is degraded or rebuilding,
+    #: so speculative prefetch load never competes with reconstruction
+    #: and rebuild traffic.
+    watchdog_suspend_when_degraded: bool = True
 
     # -- isolation auditor (see repro.spechint.auditor) ---------------------
 

@@ -117,6 +117,49 @@ ARRAY_DEMAND_FAILURES = "array.demand_failures"
 ARRAY_PREFETCHES_DROPPED = "array.prefetches_dropped"
 ARRAY_PREFETCHES_HELD = "array.prefetches_held"
 ARRAY_DEMAND_COALESCED = "array.demand_coalesced"
+
+# -- degraded mode / redundancy ---------------------------------------------
+
+#: Permanent disk deaths the array observed (first faulted access).
+ARRAY_DISK_DEATHS = "array.disk_deaths"
+#: Reads served by parity reconstruction because the home disk is dead.
+ARRAY_DEGRADED_READS = "array.degraded_reads"
+#: Blocks XOR-ed back together from surviving disks (degraded reads,
+#: hedges that won, and rebuild rows all count).
+ARRAY_RECONSTRUCTED_BLOCKS = "array.reconstructed_blocks"
+#: Hedged (duplicate reconstruction-path) reads: armed/won/cancelled/lost.
+ARRAY_HEDGES_ISSUED = "array.hedges_issued"
+ARRAY_HEDGES_WON = "array.hedges_won"
+ARRAY_HEDGES_CANCELLED = "array.hedges_cancelled"
+ARRAY_HEDGES_LOST = "array.hedges_lost"
+#: Blocks a run could not recover (double fault / no redundancy).
+FAULTS_DATA_LOSS = "faults.data_loss"
+
+REBUILD_STARTED = "rebuild.started"
+REBUILD_BLOCKS = "rebuild.blocks_resilvered"
+REBUILD_COMPLETED = "rebuild.completed"
+#: Sim-clock cycle at which the (last) rebuild finished; the counter is
+#: bumped by the cycle value once, so its value *is* the completion time.
+REBUILD_COMPLETED_CYCLE = "rebuild.completed_cycle"
+#: Sim-clock cycle at which the *workload* finished, recorded only when a
+#: rebuild outlives it and keeps the clock running — lets consumers
+#: separate demand-path slowdown from the rebuild drain tail.
+WORKLOAD_COMPLETED_CYCLE = "app.workload_completed_cycle"
+
+#: Hinted prefetches TIP declined to issue while the array was degraded.
+TIP_PREFETCHES_SHED_DEGRADED = "tip.prefetches_shed_degraded"
+#: Sequential readahead the cache manager shed while degraded; the
+#: fetch origin is appended (e.g. "cache.shed_degraded.readahead").
+CACHE_SHED_DEGRADED_PREFIX = "cache.shed_degraded."
+#: Resumable degraded-mode speculation suspensions (not watchdog trips).
+SPEC_DEGRADED_SUSPENSIONS = "spec.degraded_suspensions"
+SPEC_DEGRADED_RESUMES = "spec.degraded_resumes"
+
 #: Per-disk counters: prefix + "<metric>" with the disk id baked into the
 #: instance prefix, e.g. "disk0.accesses".
 DISK_PREFIX = "disk"
+#: Per-disk I/O health suffixes surfaced in RunResult and trace summaries
+#: (full name: f"{DISK_PREFIX}{disk_id}.{suffix}").
+DISK_RETRIES_SUFFIX = "retries"
+DISK_TIMEOUTS_SUFFIX = "timeouts"
+DISK_HEDGES_SUFFIX = "hedges"

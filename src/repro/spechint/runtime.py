@@ -212,6 +212,31 @@ class SpecProcessState:
         if self.watchdog.disabled:
             return cost  # vanilla execution for the rest of the run
 
+        if self.params.watchdog_suspend_when_degraded:
+            # Degraded-mode load shedding: while the array is rebuilding a
+            # dead disk, speculation's prefetch appetite only competes with
+            # reconstruction and resilver traffic.  Suspend (resumably) for
+            # the duration; the spec thread benches itself at its next poll.
+            transition = self.watchdog.set_degraded(self.kernel.array.degraded)
+            if transition == "suspended":
+                self.kernel.stats.counter(metrics.SPEC_DEGRADED_SUSPENSIONS).add()
+                self.restart_flag = True
+                if self.kernel.tracer.enabled:
+                    self.kernel.tracer.instant(
+                        CAT_SPEC, "degraded_suspend", tid=TID_ORIGINAL,
+                    )
+            elif transition == "resumed":
+                self.kernel.stats.counter(metrics.SPEC_DEGRADED_RESUMES).add()
+                if self.kernel.tracer.enabled:
+                    self.kernel.tracer.instant(
+                        CAT_SPEC, "degraded_resume", tid=TID_ORIGINAL,
+                    )
+                # Fall through: the stale hint log will mismatch and the
+                # normal restart-request path wakes the spec thread with a
+                # freshly captured boundary.
+        if self.watchdog.suspended:
+            return cost
+
         if self.quarantine_state.active:
             # Bounded-restart quarantine: speculation stays benched for a
             # window of reads after an isolation violation (forever, when
@@ -282,7 +307,11 @@ class SpecProcessState:
     def _wake_spec_thread(self) -> None:
         from repro.kernel.thread import ThreadState
 
-        if self.watchdog.disabled or self.quarantine_state.active:
+        if (
+            self.watchdog.disabled
+            or self.watchdog.suspended
+            or self.quarantine_state.active
+        ):
             return
         thread = self.thread
         if thread.state is ThreadState.SPEC_IDLE:
@@ -306,6 +335,10 @@ class SpecProcessState:
             return self.park(thread, "watchdog_disabled")
         if self.quarantine_state.active:
             return self.park(thread, "quarantined")
+        if self.watchdog.suspended:
+            # Degraded-mode shedding, not a safety trip: bench until the
+            # rebuild finishes (the original thread's checks drive resume).
+            return self.park(thread, "degraded_mode")
         if self.watchdog.note_restart():
             self._disable_speculation()
             return self.park(thread, "watchdog_disabled")

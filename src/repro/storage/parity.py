@@ -1,0 +1,63 @@
+"""Rotating-parity (RAID-5-style) layout for the striping pseudodevice.
+
+With ``n`` disks, each *parity row* holds ``n - 1`` data stripe units plus
+one parity unit; the parity unit rotates across the disks (row ``r``'s
+parity lives on disk ``r % n``), so parity update traffic is spread evenly
+instead of bottlenecking a dedicated parity disk.
+
+The simulator models timing, not bytes — file contents live in inodes, so
+"reconstruction" here means issuing the real peer reads on the surviving
+disks and charging the XOR cost, which is exactly what the latency model
+needs.  Any single-disk loss is survivable: a lost block is the XOR of the
+same physical block on every other disk in the array.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import InvalidBlockError
+
+
+class ParityGeometry:
+    """Maps logical blocks onto a rotating-parity array."""
+
+    def __init__(self, ndisks: int, blocks_per_unit: int) -> None:
+        if ndisks < 2:
+            raise InvalidBlockError(
+                f"parity redundancy needs >=2 disks, got {ndisks}"
+            )
+        self.ndisks = ndisks
+        self.blocks_per_unit = blocks_per_unit
+        #: Data stripe units per parity row.
+        self.data_units_per_row = ndisks - 1
+
+    def physical_blocks_per_disk(self, nblocks: int) -> int:
+        """Blocks each member disk must hold to cover ``nblocks`` logical
+        blocks (every disk holds one unit — data or parity — per row)."""
+        units = -(-nblocks // self.blocks_per_unit)  # ceil division
+        rows = -(-units // self.data_units_per_row)
+        return max(1, rows * self.blocks_per_unit)
+
+    def map_block(self, lbn: int) -> Tuple[int, int]:
+        """Map a logical block to (disk index, physical block on disk)."""
+        unit = lbn // self.blocks_per_unit
+        within = lbn % self.blocks_per_unit
+        row = unit // self.data_units_per_row
+        slot = unit % self.data_units_per_row
+        parity_disk = row % self.ndisks
+        # Data units fill the non-parity disks in increasing disk order.
+        disk = slot if slot < parity_disk else slot + 1
+        return disk, row * self.blocks_per_unit + within
+
+    def parity_disk_of(self, physical_block: int) -> int:
+        """Disk holding the parity unit of ``physical_block``'s row."""
+        row = physical_block // self.blocks_per_unit
+        return row % self.ndisks
+
+    def peer_disks(self, disk: int) -> List[int]:
+        """Disks whose same-physical-index block participates in ``disk``'s
+        parity rows — i.e. every other member of the array.  Reading the
+        same physical block on each of them and XOR-ing recovers the lost
+        block, whether it was data or parity."""
+        return [d for d in range(self.ndisks) if d != disk]

@@ -50,6 +50,11 @@ class IORequest:
         "fault",
         "failed",
         "timeout_event",
+        "owner",
+        "recon",
+        "hedge",
+        "hedge_event",
+        "reconstructed",
     )
 
     _COUNTER = 0
@@ -81,6 +86,20 @@ class IORequest:
         self.failed: bool = False
         #: Pending per-request timeout event, cancelled on completion.
         self.timeout_event: Optional[object] = None
+        #: Redundancy plumbing (None/False on the fault-free fast path).
+        #: Internal child reads (reconstruction peers, rebuild I/O) carry
+        #: the owning child-set here and bypass the normal completion path.
+        self.owner: Optional[object] = None
+        #: The reconstruction serving this request when its home disk is
+        #: dead (degraded read).
+        self.recon: Optional[object] = None
+        #: The racing hedged reconstruction, if one is in flight.
+        self.hedge: Optional[object] = None
+        #: Pending hedge-arm event, cancelled on completion.
+        self.hedge_event: Optional[object] = None
+        #: True when the block was rebuilt from parity rather than read
+        #: from its home disk.
+        self.reconstructed: bool = False
 
     @property
     def is_demand(self) -> bool:

@@ -13,6 +13,17 @@ Two evaluation knobs from the paper's Section 4.8 live here:
 * ``max_prefetches_per_disk`` — bounds outstanding prefetch requests per
   disk (the paper sets 1 for the Figure 6 experiments so the delayed
   notification has the intended effect on prefetch service time).
+
+With ``redundancy="parity"`` the array lays blocks out in rotating-parity
+rows (:mod:`repro.storage.parity`) and survives any single permanent disk
+death: reads whose home disk is dead are *reconstructed* — the same
+physical block is read on every surviving disk and XOR-ed back together on
+the sim clock — while a background :class:`~repro.storage.rebuild.RebuildEngine`
+resilvers the lost disk onto a hot spare.  Demand reads may additionally be
+*hedged*: after ``hedge_after_cycles`` a duplicate reconstruction-path read
+races the original request and the first completion wins (the loser is
+cancelled).  All of it is strictly opt-in — the default geometry and the
+fault-free event stream are bit-identical to the plain striping device.
 """
 
 from __future__ import annotations
@@ -20,17 +31,54 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.errors import DiskFaultError, InvalidBlockError, IOTimeoutError
+from repro.errors import (
+    DataLossError,
+    DiskFaultError,
+    InvalidBlockError,
+    IOTimeoutError,
+    StorageError,
+)
 from repro.params import BLOCK_SIZE, ArrayParams, CpuParams, DiskParams
 from repro.sim import metrics
 from repro.sim.engine import EventEngine
 from repro.sim.stats import StatRegistry
 from repro.storage.disk import Disk
+from repro.storage.parity import ParityGeometry
+from repro.storage.rebuild import RebuildEngine
 from repro.storage.request import IOKind, IORequest
-from repro.trace.tracer import NULL_TRACER, Tracer
+from repro.trace.tracer import CAT_STORAGE, NULL_TRACER, TID_DISK_BASE, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
+
+from repro.faults.injector import FAULT_DATA_LOSS, FAULT_DEAD
+
+
+class _ChildSet:
+    """A batch of internal child reads that jointly serve one purpose —
+    the surviving-peer reads of a parity reconstruction, or a rebuild
+    engine's I/O.  Children bypass the array's normal completion path
+    (they are not ``_outstanding``); the array routes them back here."""
+
+    __slots__ = (
+        "children", "remaining", "cancelled", "xor_cycles",
+        "on_complete", "on_failed", "label",
+    )
+
+    def __init__(
+        self,
+        xor_cycles: int,
+        on_complete: Callable[["_ChildSet"], None],
+        on_failed: Callable[["_ChildSet", str], None],
+        label: str,
+    ) -> None:
+        self.children: List[IORequest] = []
+        self.remaining = 0
+        self.cancelled = False
+        self.xor_cycles = xor_cycles
+        self.on_complete = on_complete
+        self.on_failed = on_failed
+        self.label = label
 
 
 class StripedArray:
@@ -54,6 +102,11 @@ class StripedArray:
                 f"stripe unit {array.stripe_unit} is not a multiple of the "
                 f"{BLOCK_SIZE}-byte block size"
             )
+        if array.redundancy not in ("none", "parity"):
+            raise InvalidBlockError(
+                f"unknown redundancy scheme {array.redundancy!r}; "
+                f"expected 'none' or 'parity'"
+            )
         self.array = array
         self.cpu = cpu
         self.engine = engine
@@ -63,25 +116,50 @@ class StripedArray:
         self.blocks_per_unit = array.stripe_unit // BLOCK_SIZE
         self.nblocks = nblocks
 
+        self.parity: Optional[ParityGeometry] = None
+        if array.redundancy == "parity":
+            self.parity = ParityGeometry(array.ndisks, self.blocks_per_unit)
+
         per_disk = self._physical_blocks_per_disk(nblocks)
+        total_disks = array.ndisks + max(0, array.hot_spares)
         self.disks: List[Disk] = [
             Disk(i, per_disk, disk_params, cpu, engine, stats,
                  self._disk_finished, injector=injector, tracer=tracer)
-            for i in range(array.ndisks)
+            for i in range(total_disks)
         ]
+        #: Spare disks (ids >= ndisks) not yet resilvering a dead disk.
+        self._free_spares: List[int] = list(range(array.ndisks, total_disks))
+
+        #: Observed permanent deaths: disk id -> rebuild engine (None when
+        #: no spare was available; the array stays degraded for good).
+        self._dead_disks: Dict[int, Optional[RebuildEngine]] = {}
+        #: True once any block was declared unrecoverable.
+        self.data_loss = False
+
+        #: Hedge delay and rebuild share, overridable per fault plan.
+        self._hedge_cycles = array.hedge_after_cycles
+        self._rebuild_share = array.rebuild_bandwidth_share
+        if injector is not None:
+            plan = injector.plan
+            if plan.hedge_after_s > 0.0:
+                self._hedge_cycles = cpu.cycles(plan.hedge_after_s)
+            if plan.rebuild_share > 0.0:
+                self._rebuild_share = plan.rebuild_share
 
         #: Outstanding (submitted, unnotified) requests per lbn.  Demand and
         #: prefetch for the same block coalesce onto one request.
         self._outstanding: Dict[int, IORequest] = {}
         #: Prefetches held back by the per-disk prefetch limit.
         self._held_prefetches: List[Deque[IORequest]] = [
-            deque() for _ in range(array.ndisks)
+            deque() for _ in range(total_disks)
         ]
-        self._inflight_prefetches: List[int] = [0] * array.ndisks
+        self._inflight_prefetches: List[int] = [0] * total_disks
 
     # -- geometry ----------------------------------------------------------
 
     def _physical_blocks_per_disk(self, nblocks: int) -> int:
+        if self.parity is not None:
+            return self.parity.physical_blocks_per_disk(nblocks)
         units = -(-nblocks // self.blocks_per_unit)  # ceil division
         units_per_disk = -(-units // self.array.ndisks)
         return max(1, units_per_disk * self.blocks_per_unit)
@@ -90,6 +168,8 @@ class StripedArray:
         """Map a logical block to (disk index, physical block on that disk)."""
         if lbn < 0 or lbn >= self.nblocks:
             raise InvalidBlockError(f"lbn {lbn} outside array of {self.nblocks} blocks")
+        if self.parity is not None:
+            return self.parity.map_block(lbn)
         unit = lbn // self.blocks_per_unit
         within = lbn % self.blocks_per_unit
         disk = unit % self.array.ndisks
@@ -99,6 +179,85 @@ class StripedArray:
     def disk_of(self, lbn: int) -> int:
         """Disk index holding logical block ``lbn``."""
         return self.map_block(lbn)[0]
+
+    # -- degraded-mode state -----------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True while any dead disk is not yet fully resilvered.
+
+        TIP and the SpecHint watchdog consult this to shed speculative
+        load: while degraded, demand and rebuild traffic win.
+        """
+        for rebuild in self._dead_disks.values():
+            if rebuild is None or not rebuild.complete:
+                return True
+        return False
+
+    @property
+    def rebuild_active(self) -> bool:
+        """True while a rebuild engine is still resilvering."""
+        return any(
+            rebuild is not None and not rebuild.complete
+            for rebuild in self._dead_disks.values()
+        )
+
+    @property
+    def rebuilds(self) -> List[RebuildEngine]:
+        """The rebuild engines started so far (complete or not)."""
+        return [r for r in self._dead_disks.values() if r is not None]
+
+    def _is_dead(self, disk_id: int) -> bool:
+        return disk_id in self._dead_disks
+
+    def _route(self, disk_id: int, physical: int) -> Optional[int]:
+        """The disk that can serve ``(disk_id, physical)`` right now:
+        the disk itself while alive, its spare once the block is
+        resilvered, or None (reconstruction required)."""
+        if disk_id not in self._dead_disks:
+            return disk_id
+        rebuild = self._dead_disks[disk_id]
+        if rebuild is not None and rebuild.covers(physical):
+            return rebuild.spare_id
+        return None
+
+    def _can_reconstruct(self, home_disk: int, physical: int) -> bool:
+        """Can ``(home_disk, physical)`` be rebuilt from its parity row?"""
+        if self.parity is None or home_disk >= self.array.ndisks:
+            return False
+        return all(
+            self._route(peer, physical) is not None
+            for peer in self.parity.peer_disks(home_disk)
+        )
+
+    def _note_disk_death(self, disk_id: int) -> None:
+        """First observation of a permanent death: mark the disk dead,
+        hand its held prefetches to the reconstruction path, and start
+        resilvering onto a spare when one is free."""
+        if disk_id in self._dead_disks or disk_id >= self.array.ndisks:
+            return
+        self._dead_disks[disk_id] = None
+        self.stats.counter(metrics.ARRAY_DISK_DEATHS).add()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                CAT_STORAGE, f"disk{disk_id}.death",
+                tid=TID_DISK_BASE + disk_id,
+            )
+        if self.parity is not None and self._free_spares:
+            spare_id = self._free_spares.pop(0)
+            rebuild = RebuildEngine(
+                self, disk_id, spare_id, self._rebuild_share
+            )
+            self._dead_disks[disk_id] = rebuild
+            rebuild.start()
+        # Prefetches held for the dead disk can never dispatch there.
+        held = self._held_prefetches[disk_id]
+        while held:
+            request = held.popleft()
+            if self.parity is not None:
+                self._start_degraded_read(request)
+            else:
+                self._fail_data_loss(request)
 
     # -- request path ------------------------------------------------------
 
@@ -129,6 +288,13 @@ class StripedArray:
         self._outstanding[lbn] = request
         self.stats.counter(f"array.{kind.value}_submitted").add()
 
+        if self._is_dead(disk_id):
+            serving = self._route(disk_id, physical)
+            if serving is None:
+                self._start_degraded_read(request)
+                return request
+            request.disk_id = disk_id = serving
+
         limit = self.array.max_prefetches_per_disk
         if (
             kind is IOKind.PREFETCH
@@ -152,6 +318,12 @@ class StripedArray:
 
     def _promote(self, request: IORequest) -> None:
         """Raise an outstanding prefetch to demand priority where possible."""
+        if request.recon is not None:
+            # Being reconstructed from peers: promote the surviving-peer
+            # reads so the reconstruction finishes at demand priority.
+            request.promote_to_demand()
+            self._promote_reconstruction(request.recon)
+            return
         if request.fault is not None:
             # Waiting out a retry backoff (not at any disk): flip the kind so
             # the resubmit dispatches at demand priority with demand retry
@@ -183,10 +355,28 @@ class StripedArray:
             request.promote_to_demand()
             self._release_held(disk_id)
 
+    def _promote_reconstruction(self, recon: _ChildSet) -> None:
+        for child in recon.children:
+            if child.is_demand:
+                continue
+            if not self.disks[child.disk_id].promote_queued(child.lbn):
+                # In service (can't be re-prioritized) or in retry backoff
+                # (the resubmit will enqueue at demand priority).
+                child.promote_to_demand()
+
     def _dispatch(self, request: IORequest) -> None:
+        if self._is_dead(request.disk_id):
+            serving = self._route(request.disk_id, request.physical_block)
+            if serving is None:
+                # The home disk died while the request waited (held queue
+                # or retry backoff): reconstruct instead.
+                self._start_degraded_read(request)
+                return
+            request.disk_id = serving
         if request.kind is IOKind.PREFETCH:
             self._inflight_prefetches[request.disk_id] += 1
         self._arm_timeout(request)
+        self._arm_hedge(request)
         self.disks[request.disk_id].submit(request)
 
     def _arm_timeout(self, request: IORequest) -> None:
@@ -218,6 +408,10 @@ class StripedArray:
             self._release_held(request.disk_id)
         request.fault = "timeout"
         self.stats.counter(metrics.ARRAY_TIMEOUTS).add()
+        self.stats.counter(
+            f"{metrics.DISK_PREFIX}{request.disk_id}."
+            f"{metrics.DISK_TIMEOUTS_SUFFIX}"
+        ).add()
         self._handle_fault(request)
 
     def _chain_callback(self, request: IORequest, callback: Callable[[IORequest], None]) -> None:
@@ -230,17 +424,340 @@ class StripedArray:
 
         request.callback = chained
 
+    # -- hedged reads --------------------------------------------------------
+
+    def _arm_hedge(self, request: IORequest) -> None:
+        """Arm a hedged duplicate for a demand read.  The hedge is a parity
+        reconstruction racing the primary (only one copy of a block exists,
+        so the duplicate must come from the peers).  Only armed under fault
+        injection on a parity array."""
+        if (
+            self._hedge_cycles <= 0
+            or self.injector is None
+            or self.parity is None
+            or not request.is_demand
+            or request.hedge is not None
+            or request.hedge_event is not None
+        ):
+            return
+        request.hedge_event = self.engine.schedule_after(
+            self._hedge_cycles,
+            lambda: self._hedge_fired(request),
+            label=f"array:hedge lbn={request.lbn}",
+        )
+
+    def _hedge_fired(self, request: IORequest) -> None:
+        request.hedge_event = None
+        if request.done or request.fault is not None:
+            return  # completed, or the retry/death paths own it now
+        if self._is_dead(request.disk_id):
+            return  # the death path reroutes this request itself
+        if not self._can_reconstruct(request.disk_id, request.physical_block):
+            return
+        self.stats.counter(metrics.ARRAY_HEDGES_ISSUED).add()
+        self.stats.counter(
+            f"{metrics.DISK_PREFIX}{request.disk_id}."
+            f"{metrics.DISK_HEDGES_SUFFIX}"
+        ).add()
+        request.hedge = self._spawn_reconstruction(
+            home_disk=request.disk_id,
+            physical=request.physical_block,
+            lbn=request.lbn,
+            kind=IOKind.DEMAND,
+            on_complete=lambda cs: self._hedge_completed(request),
+            on_failed=lambda cs, fault: self._hedge_failed(request),
+            label=f"array:hedge-reconstruct lbn={request.lbn}",
+        )
+
+    def _hedge_completed(self, request: IORequest) -> None:
+        """The hedged reconstruction finished first: first-wins."""
+        recon = request.hedge
+        if recon is None or request.done:
+            return
+        if request.fault is None:
+            # The primary is still at its disk; abort it there.
+            if not self.disks[request.disk_id].abort(request):
+                # Finishing this very cycle: let the primary win.
+                request.hedge = None
+                recon.cancelled = True
+                return
+        request.hedge = None
+        recon.cancelled = True
+        self._disarm_timeout(request)
+        request.fault = None
+        request.failed = False
+        request.reconstructed = True
+        self.stats.counter(metrics.ARRAY_HEDGES_WON).add()
+        self._notify(request)
+
+    def _hedge_failed(self, request: IORequest) -> None:
+        """The hedged reconstruction lost (peer faults exhausted it)."""
+        self.stats.counter(metrics.ARRAY_HEDGES_LOST).add()
+        request.hedge = None
+        if request.done:
+            return
+        if request.failed:
+            # The primary exhausted its retries while the hedge raced;
+            # the hedge was the last hope.
+            self._fail_request(request)
+            return
+        if request.fault == FAULT_DEAD:
+            # The primary's disk died while the hedge raced.
+            self._redispatch_after_death(request)
+        # Otherwise the primary is still working (at its disk or in
+        # backoff) and finishes normally.
+
+    def _cancel_hedge(self, request: IORequest) -> None:
+        """The primary finished first: cancel the racing reconstruction."""
+        recon = request.hedge
+        request.hedge = None
+        if recon is None:
+            return
+        recon.cancelled = True
+        for child in recon.children:
+            self.disks[child.disk_id].abort(child)
+        self.stats.counter(metrics.ARRAY_HEDGES_CANCELLED).add()
+
+    # -- parity reconstruction ----------------------------------------------
+
+    def _spawn_reconstruction(
+        self,
+        home_disk: int,
+        physical: int,
+        lbn: int,
+        kind: IOKind,
+        on_complete: Callable[[_ChildSet], None],
+        on_failed: Callable[[_ChildSet, str], None],
+        label: str,
+    ) -> _ChildSet:
+        """Read ``physical`` on every surviving peer of ``home_disk``; when
+        all arrive, charge the XOR cost and call ``on_complete``.  The
+        caller must have checked :meth:`_can_reconstruct`."""
+        recon = _ChildSet(
+            max(1, self.array.reconstruct_xor_cycles),
+            on_complete, on_failed, label,
+        )
+        assert self.parity is not None
+        for peer in self.parity.peer_disks(home_disk):
+            serving = self._route(peer, physical)
+            assert serving is not None, "caller must check _can_reconstruct"
+            child = IORequest(lbn, kind)
+            child.disk_id = serving
+            child.physical_block = physical
+            child.owner = recon
+            recon.children.append(child)
+        recon.remaining = len(recon.children)
+        for child in recon.children:
+            self.disks[child.disk_id].submit(child)
+        return recon
+
+    def spawn_spare_write(
+        self,
+        spare_id: int,
+        physical: int,
+        on_complete: Callable[[_ChildSet], None],
+        on_failed: Callable[[_ChildSet, str], None],
+        label: str,
+    ) -> _ChildSet:
+        """One rebuild write landing a resilvered block on the spare."""
+        write_set = _ChildSet(0, on_complete, on_failed, label)
+        child = IORequest(-1, IOKind.PREFETCH)
+        child.disk_id = spare_id
+        child.physical_block = physical
+        child.owner = write_set
+        write_set.children.append(child)
+        write_set.remaining = 1
+        self.disks[spare_id].submit(child)
+        return write_set
+
+    def spawn_rebuild_read(
+        self,
+        dead_disk: int,
+        physical: int,
+        on_complete: Callable[[_ChildSet], None],
+        on_failed: Callable[[_ChildSet, str], None],
+    ) -> _ChildSet:
+        """One rebuild row read: reconstruct ``physical`` of the dead disk
+        at prefetch priority (demand traffic wins at every disk queue)."""
+        return self._spawn_reconstruction(
+            home_disk=dead_disk,
+            physical=physical,
+            lbn=-1,
+            kind=IOKind.PREFETCH,
+            on_complete=on_complete,
+            on_failed=on_failed,
+            label=f"array:rebuild disk{dead_disk} block={physical}",
+        )
+
+    def can_reconstruct(self, home_disk: int, physical: int) -> bool:
+        """Public probe used by the rebuild engine."""
+        return self._can_reconstruct(home_disk, physical)
+
+    def _child_finished(self, child: IORequest) -> None:
+        recon = child.owner
+        assert isinstance(recon, _ChildSet)
+        if recon.cancelled:
+            return
+        if child.fault is None:
+            recon.remaining -= 1
+            if recon.remaining == 0:
+                if recon.xor_cycles > 0:
+                    self.engine.schedule_after(
+                        recon.xor_cycles,
+                        lambda: self._child_set_complete(recon),
+                        label=recon.label + ":xor",
+                    )
+                else:
+                    self._child_set_complete(recon)
+            return
+        if child.fault == FAULT_DEAD:
+            # A surviving peer died mid-reconstruction: the row is gone.
+            self._note_disk_death(child.disk_id)
+            self.data_loss = True
+            self.stats.counter(metrics.FAULTS_DATA_LOSS).add()
+            self._child_set_failed(recon, FAULT_DATA_LOSS)
+            return
+        # Transient/offline fault: retry with the demand backoff budget
+        # (reconstruction always serves someone who is waiting).
+        if child.attempts < max(1, self.array.retry_max_attempts):
+            delay = int(
+                self.array.retry_backoff_cycles
+                * self.array.retry_backoff_multiplier ** (child.attempts - 1)
+            )
+            child.attempts += 1
+            self.stats.counter(metrics.ARRAY_RETRIES).add()
+            self.stats.counter(
+                f"{metrics.DISK_PREFIX}{child.disk_id}."
+                f"{metrics.DISK_RETRIES_SUFFIX}"
+            ).add()
+            self.engine.schedule_after(
+                max(1, delay),
+                lambda: self._resubmit_child(child),
+                label=recon.label + ":retry",
+            )
+            return
+        self._child_set_failed(recon, child.fault)
+
+    def _resubmit_child(self, child: IORequest) -> None:
+        recon = child.owner
+        assert isinstance(recon, _ChildSet)
+        if recon.cancelled:
+            return
+        if self._is_dead(child.disk_id):
+            self._note_disk_death(child.disk_id)
+            self.data_loss = True
+            self.stats.counter(metrics.FAULTS_DATA_LOSS).add()
+            self._child_set_failed(recon, FAULT_DATA_LOSS)
+            return
+        child.fault = None
+        self.disks[child.disk_id].submit(child)
+
+    def _child_set_failed(self, recon: _ChildSet, fault: str) -> None:
+        recon.cancelled = True
+        for child in recon.children:
+            if child.fault is None:
+                self.disks[child.disk_id].abort(child)
+        recon.on_failed(recon, fault)
+
+    def _child_set_complete(self, recon: _ChildSet) -> None:
+        if recon.cancelled:
+            return
+        if recon.xor_cycles > 0:
+            self.stats.counter(metrics.ARRAY_RECONSTRUCTED_BLOCKS).add()
+        recon.on_complete(recon)
+
+    # -- degraded reads ------------------------------------------------------
+
+    def _start_degraded_read(self, request: IORequest) -> None:
+        """Serve a read whose home disk is dead by reconstructing the block
+        from the surviving peers (or declare data loss)."""
+        if not self._can_reconstruct(request.disk_id, request.physical_block):
+            self._fail_data_loss(request)
+            return
+        request.reconstructed = True
+        self.stats.counter(metrics.ARRAY_DEGRADED_READS).add()
+        request.recon = self._spawn_reconstruction(
+            home_disk=request.disk_id,
+            physical=request.physical_block,
+            lbn=request.lbn,
+            kind=request.kind,
+            on_complete=lambda cs: self._degraded_read_done(request),
+            on_failed=lambda cs, fault: self._degraded_read_failed(request, fault),
+            label=f"array:reconstruct lbn={request.lbn}",
+        )
+
+    def _degraded_read_done(self, request: IORequest) -> None:
+        if request.done:
+            return
+        request.recon = None
+        self._notify(request)
+
+    def _degraded_read_failed(self, request: IORequest, fault: str) -> None:
+        request.recon = None
+        request.fault = fault
+        self._fail_request(request)
+
+    def _fail_data_loss(self, request: IORequest) -> None:
+        """No redundancy (or no survivors): the block is gone for good."""
+        self.data_loss = True
+        self.stats.counter(metrics.FAULTS_DATA_LOSS).add()
+        request.fault = FAULT_DATA_LOSS
+        if not request.is_demand:
+            # Defer the drop to its own event: the prefetcher reacts to a
+            # dropped prefetch by submitting the next one, which on a
+            # multi-dead array may be unrecoverable too — failing it
+            # synchronously would recurse through TIP once per pending
+            # hint and overflow the stack.  Demand failures stay
+            # synchronous so the typed DataLossError surfaces at the
+            # faulting read() itself.
+            self.engine.schedule_after(
+                1,
+                lambda: None if request.done else self._fail_request(request),
+                label=f"array:data-loss lbn={request.lbn}",
+            )
+            return
+        self._fail_request(request)
+
+    def _redispatch_after_death(self, request: IORequest) -> None:
+        """The request's home disk died under it: route to the spare if
+        the block is already resilvered, else reconstruct from peers."""
+        if request.hedge is not None:
+            # A hedged reconstruction is already reading the survivors; it
+            # completes (or fails over) this request — avoid duplicate work.
+            request.fault = FAULT_DEAD
+            return
+        if self.parity is None:
+            self._fail_data_loss(request)
+            return
+        request.fault = None
+        serving = self._route(request.disk_id, request.physical_block)
+        if serving is not None:
+            request.disk_id = serving
+            self._dispatch(request)
+            return
+        self._start_degraded_read(request)
+
     # -- completion path ----------------------------------------------------
 
     def _disk_finished(self, request: IORequest) -> None:
+        if request.owner is not None:
+            self._child_finished(request)
+            return
         self._disarm_timeout(request)
         if request.kind is IOKind.PREFETCH:
             self._inflight_prefetches[request.disk_id] -= 1
             self._release_held(request.disk_id)
 
+        if request.fault == FAULT_DEAD:
+            self._note_disk_death(request.disk_id)
+            self._redispatch_after_death(request)
+            return
         if request.fault is not None:
             self._handle_fault(request)
             return
+
+        if request.hedge is not None:
+            self._cancel_hedge(request)
 
         factor = self.array.completion_delay_factor
         if factor > 1.0:
@@ -277,6 +794,10 @@ class StripedArray:
             )
             request.attempts += 1
             self.stats.counter(metrics.ARRAY_RETRIES).add()
+            self.stats.counter(
+                f"{metrics.DISK_PREFIX}{request.disk_id}."
+                f"{metrics.DISK_RETRIES_SUFFIX}"
+            ).add()
             self.engine.schedule_after(
                 max(1, delay),
                 lambda: self._resubmit(request),
@@ -284,9 +805,18 @@ class StripedArray:
             )
             return
 
+        if request.hedge is not None:
+            # The hedged reconstruction is still racing: it either
+            # completes the request or fails it for good when it loses.
+            request.failed = True
+            return
+
         # Retries exhausted: notify with ``failed`` set.  Demand callers
         # surface RetriesExhausted; prefetch callers drop the block silently
         # and the read degrades to the unhinted baseline.
+        self._fail_request(request)
+
+    def _fail_request(self, request: IORequest) -> None:
         request.failed = True
         if request.is_demand:
             self.stats.counter(metrics.ARRAY_DEMAND_FAILURES).add()
@@ -304,6 +834,11 @@ class StripedArray:
     def failure_cause(request: IORequest) -> Exception:
         """The typed error behind a failed request (for raisers upstream)."""
         where = f"lbn={request.lbn} disk={request.disk_id}"
+        if request.fault == FAULT_DATA_LOSS:
+            return DataLossError(
+                f"block {where} is unrecoverable: its disk died and the "
+                f"parity row cannot be rebuilt from the survivors"
+            )
         if request.fault == "timeout":
             return IOTimeoutError(f"request {where} timed out after "
                                   f"{request.attempts} attempts")
@@ -311,9 +846,30 @@ class StripedArray:
                               f"({request.fault}) after {request.attempts} attempts")
 
     def _notify(self, request: IORequest) -> None:
+        if request.hedge_event is not None:
+            request.hedge_event.cancel()
+            request.hedge_event = None
+        if request.hedge is not None:
+            self._cancel_hedge(request)
         request.notify_time = self.engine.clock.now
         request.done = True
         self._outstanding.pop(request.lbn, None)
         self.stats.counter(metrics.ARRAY_COMPLETED).add()
         if request.callback is not None:
             request.callback(request)
+
+    # -- post-run drain ------------------------------------------------------
+
+    def drain_rebuild(self) -> None:
+        """Advance the sim clock until every active rebuild resilvers.
+
+        The kernel's run loop exits when all processes do; a rebuild that
+        outlives the workload finishes here, still on the sim clock, so
+        its completion time is part of the run's deterministic results.
+        """
+        while self.rebuild_active:
+            if not self.engine.advance_to_next():
+                raise StorageError(
+                    "rebuild stalled: event queue empty while a dead disk "
+                    "is not fully resilvered"
+                )

@@ -257,9 +257,21 @@ class TipManager(CacheManagerBase):
             return
         depth = self.effective_depth(pid)
         limit = self.params.max_inflight_per_disk
+        degraded = self.array.degraded
+        if degraded:
+            # Speculation-aware load shedding: while a dead disk is being
+            # reconstructed, demand and rebuild traffic own the spindles.
+            # Shrink the hint horizon and clamp the per-disk appetite;
+            # hints stay queued, so prefetching catches back up on resume.
+            depth = max(1, int(depth * self.params.degraded_horizon_factor))
+            cap = self.params.degraded_max_inflight_per_disk
+            if cap > 0:
+                limit = cap if limit <= 0 else min(limit, cap)
         scanned = 0
         for entry in state.queue:
             if scanned >= depth:
+                if degraded:
+                    self.stats.counter(metrics.TIP_PREFETCHES_SHED_DEGRADED).add()
                 break
             scanned += 1
             key = entry.key
@@ -268,6 +280,8 @@ class TipManager(CacheManagerBase):
             inode = self.fs.inode(key[0])
             disk = self.array.disk_of(inode.lbn_of_block(key[1]))
             if limit > 0 and self._inflight_per_disk.get(disk, 0) >= limit:
+                if degraded:
+                    self.stats.counter(metrics.TIP_PREFETCHES_SHED_DEGRADED).add()
                 continue
             if self.start_prefetch(inode, key[1], FetchOrigin.HINT):
                 self._inflight_hint_fetch[key] = disk

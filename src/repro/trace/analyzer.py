@@ -74,10 +74,15 @@ class TraceAnalyzer:
         tracer: Tracer,
         lifecycle: Optional[HintLifecycle] = None,
         breakdown: Optional[StallBreakdown] = None,
+        result: Optional[object] = None,
     ) -> None:
         self.tracer = tracer
         self.lifecycle = lifecycle
         self.breakdown = breakdown
+        #: Optional RunResult: enables the per-disk I/O health and
+        #: degraded-mode sections (counters live in the result, not the
+        #: trace, so a filtered trace cannot hide them).
+        self.result = result
 
     # -- span extraction -----------------------------------------------------
 
@@ -187,6 +192,23 @@ class TraceAnalyzer:
             out["pct_prefetches_before_demand"] = round(
                 self.pct_prefetches_before_demand(), 2
             )
+        result = self.result
+        if result is not None:
+            per_disk = result.per_disk_io_counters()  # type: ignore[attr-defined]
+            if per_disk:
+                out["per_disk_io"] = {
+                    str(disk): counters
+                    for disk, counters in sorted(per_disk.items())
+                }
+            if result.disk_deaths:  # type: ignore[attr-defined]
+                out["degraded"] = {
+                    "disk_deaths": result.disk_deaths,  # type: ignore[attr-defined]
+                    "degraded_reads": result.degraded_reads,  # type: ignore[attr-defined]
+                    "reconstructed_blocks": result.reconstructed_blocks,  # type: ignore[attr-defined]
+                    "hedges_won": result.hedges_won,  # type: ignore[attr-defined]
+                    "rebuild_completed": result.rebuild_completed,  # type: ignore[attr-defined]
+                    "rebuild_blocks": result.rebuild_blocks,  # type: ignore[attr-defined]
+                }
         return out
 
     def render_summary(self) -> str:
@@ -232,6 +254,32 @@ class TraceAnalyzer:
         if utilization:
             parts = [f"disk{disk}={util * 100:.1f}%" for disk, util in utilization.items()]
             lines.append("disk utilization     " + " ".join(parts))
+        result = self.result
+        if result is not None:
+            per_disk = result.per_disk_io_counters()  # type: ignore[attr-defined]
+            if per_disk:
+                parts = []
+                for disk in sorted(per_disk):
+                    counters = per_disk[disk]
+                    detail = ",".join(f"{name}={counters[name]}"
+                                      for name in sorted(counters))
+                    parts.append(f"disk{disk}({detail})")
+                lines.append("disk I/O health      " + " ".join(parts))
+            if result.disk_deaths:  # type: ignore[attr-defined]
+                if result.rebuild_completed:  # type: ignore[attr-defined]
+                    done_s = (result.rebuild_completed_cycle  # type: ignore[attr-defined]
+                              / result.cpu_hz)  # type: ignore[attr-defined]
+                    rebuild = (f"rebuild done @{done_s:.3f}s "
+                               f"({result.rebuild_blocks:,} blocks)")  # type: ignore[attr-defined]
+                else:
+                    rebuild = "rebuild INCOMPLETE"
+                lines.append(
+                    "degraded mode        "
+                    f"{result.disk_deaths} death(s), "  # type: ignore[attr-defined]
+                    f"{result.degraded_reads:,} degraded reads, "  # type: ignore[attr-defined]
+                    f"{result.reconstructed_blocks:,} reconstructed, "  # type: ignore[attr-defined]
+                    f"{result.hedges_won:,} hedges won; {rebuild}"  # type: ignore[attr-defined]
+                )
         lines.append(
             f"trace                {len(self.tracer):,} events "
             f"({self.tracer.dropped:,} dropped)"

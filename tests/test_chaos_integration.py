@@ -16,7 +16,15 @@ from repro.params import SpecHintParams, SystemConfig
 
 SCALE = 0.3
 
-CHAOS_PROFILES = sorted(name for name in PROFILES if name != "none")
+# Output identity holds for every survivable profile — including the
+# permanent-death ones, which auto-enable parity redundancy and recover
+# through degraded reads.  Profiles that *expect* data loss (double
+# faults) terminate with a typed DataLossError instead of output and are
+# covered by tests/test_degraded_mode.py.
+CHAOS_PROFILES = sorted(
+    name for name in PROFILES
+    if name != "none" and not PROFILES[name].expects_data_loss
+)
 
 
 def base_config(**kwargs):

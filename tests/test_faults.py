@@ -61,6 +61,35 @@ class TestFaultPlan:
         assert not FaultPlan(offline_disk=0).active
         assert FaultPlan(offline_disk=0, offline_duration_s=0.01).active
 
+    def test_with_seed_round_trips(self):
+        for name, plan in PROFILES.items():
+            # Re-seeding with the original seed is the identity...
+            assert plan.with_seed(plan.seed) == plan
+            # ...and any re-seeding preserves everything but the seed.
+            reseeded = plan.with_seed(plan.seed + 1)
+            assert reseeded.active == plan.active
+            assert reseeded.with_seed(plan.seed) == plan
+
+    def test_unknown_profile_error_lists_every_known_profile(self):
+        with pytest.raises(ValueError) as excinfo:
+            profile("full-moon")
+        message = str(excinfo.value)
+        for name in PROFILES:
+            assert name in message
+
+    def test_permanent_death_makes_a_plan_active(self):
+        plan = FaultPlan(dead_disk=0)
+        assert plan.active
+        assert plan.permanent_death
+        assert not plan.expects_data_loss
+
+    def test_data_loss_expected_only_for_double_faults(self):
+        expecting = {name for name, plan in PROFILES.items()
+                     if plan.expects_data_loss}
+        assert expecting == {"double-fault"}
+        # A second death without a first is not a double fault.
+        assert not FaultPlan(second_dead_disk=1).expects_data_loss
+
 
 def make_injector(plan):
     clock = SimClock()
@@ -112,6 +141,21 @@ class TestInjectorDiskFaults:
         clock.advance(CpuParams().cycles(0.002))
         assert injector.on_disk_service(0, request(), 1000) == (1000, None)
         assert stats.get("faults.disk_slow_services") == 1
+
+    def test_offline_window_open_past_end_of_run(self):
+        """A window whose end lies beyond the run keeps the disk offline
+        for the run's whole remainder — it must never wrap or re-enable."""
+        plan = FaultPlan(offline_disk=0, offline_start_s=0.001,
+                         offline_duration_s=1e9)
+        injector, clock, stats = make_injector(plan)
+        # Before the window opens the disk serves normally.
+        assert injector.on_disk_service(0, request(), 1000) == (1000, None)
+        clock.advance(CpuParams().cycles(0.002))
+        assert injector.on_disk_service(0, request(), 1000)[1] == FAULT_OFFLINE
+        # Arbitrarily far past any plausible end-of-run: still offline.
+        clock.advance(CpuParams().cycles(3600.0))
+        assert injector.on_disk_service(0, request(), 1000)[1] == FAULT_OFFLINE
+        assert stats.get("faults.disk_offline_rejects") == 2
 
     def test_same_seed_same_decisions(self):
         plan = FaultPlan(disk_error_rate=0.3)
