@@ -95,6 +95,44 @@ def test_analysis_transformation_costs(benchmark):
     assert resolved >= 1
 
 
+def test_analysis_security_lint(benchmark):
+    """The speculation-security taint lint: every app provably clean,
+    every crafted leak caught with a witness, the sanitized probe not
+    flagged — the no-false-negative / no-false-positive matrix."""
+    from repro.analysis import FIXTURES, LEAKY_FIXTURES, analyze_security
+
+    def security_matrix():
+        plans = {}
+        for app in APPS:
+            binary = _BUILDERS[app](FileSystem(), SCALE, False)
+            plans[app] = analyze_security(binary)
+        for name, builder in FIXTURES.items():
+            if name.startswith("taint-"):
+                plans[name] = analyze_security(builder())
+        return plans
+
+    plans = once(benchmark, security_matrix)
+    print(banner(f"Static analysis - speculation-security lint "
+                 f"(scale {SCALE})"))
+    print(f"{'binary':24s}{'secrets':>8s}{'sites':>6s}{'leaks':>6s}"
+          f"  channels")
+    for name, plan in sorted(plans.items()):
+        channels = sorted({
+            ch for leak in plan.leaks for ch in leak.channels
+        })
+        print(f"{name:24s}{len(plan.secret_labels):>8d}"
+              f"{len(plan.disclosure_sites):>6d}{len(plan.leaks):>6d}"
+              f"  {', '.join(channels) or '-'}")
+
+    for app in APPS:
+        assert plans[app].clean, app
+    for name in LEAKY_FIXTURES:
+        assert not plans[name].clean, name
+        assert all(leak.witness for leak in plans[name].leaks), name
+    assert plans["taint-safe-fixture"].clean
+    assert plans["taint-sanitized-fixture"].clean
+
+
 def test_analysis_oracle_identity(benchmark):
     grid = once(benchmark, oracle_grid)
     print(banner(

@@ -10,7 +10,11 @@ A four-stage pipeline (Section 9 of DESIGN.md):
 4. :mod:`repro.analysis.driver` — whole-binary facts: transfer
    resolution, store classification, speculation and syscall
    reachability, the :class:`~repro.analysis.driver.ElisionPlan` the
-   SpecHint tool consumes, and lint findings.
+   SpecHint tool consumes, and lint findings;
+5. :mod:`repro.analysis.taint` — the speculation-security lint: a taint
+   domain layered over stage 3's lattice proving (or refuting, with a
+   witness def-use chain) that secret-marked data regions cannot flow
+   into the operands of a disclosed I/O hint.
 
 The analysis is advisory: the runtime isolation auditor remains the
 soundness oracle, so a wrong fact degrades to a quarantine (performance
@@ -42,7 +46,26 @@ from repro.analysis.driver import (
     analyze_binary,
     check_costs,
 )
-from repro.analysis.fixtures import build_safe_fixture, build_unsafe_fixture
+from repro.analysis.fixtures import (
+    FIXTURES,
+    LEAKY_FIXTURES,
+    build_safe_fixture,
+    build_taint_branch_fixture,
+    build_taint_safe_fixture,
+    build_taint_sanitized_fixture,
+    build_taint_table_fixture,
+    build_unsafe_fixture,
+)
+from repro.analysis.taint import (
+    EMPTY_TAINT,
+    LeakReport,
+    SecurityPlan,
+    TaintState,
+    WitnessStep,
+    analyze_security,
+    taint_join,
+    taint_widen,
+)
 
 __all__ = [
     "AbsState",
@@ -52,20 +75,34 @@ __all__ = [
     "CFG",
     "CheckCosts",
     "ElisionPlan",
+    "EMPTY_TAINT",
+    "FIXTURES",
     "FunctionFacts",
+    "LEAKY_FIXTURES",
+    "LeakReport",
     "LintFinding",
     "Loop",
+    "SecurityPlan",
     "StoreClass",
+    "TaintState",
     "TransferFact",
     "TransferKind",
     "ValueKind",
+    "WitnessStep",
     "analyze_binary",
     "analyze_function",
+    "analyze_security",
     "build_cfg",
     "build_cfgs",
     "build_safe_fixture",
+    "build_taint_branch_fixture",
+    "build_taint_safe_fixture",
+    "build_taint_sanitized_fixture",
+    "build_taint_table_fixture",
     "build_unsafe_fixture",
     "check_costs",
+    "taint_join",
+    "taint_widen",
     "defs_uses",
     "live_out",
     "reaching_definitions",

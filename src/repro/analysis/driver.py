@@ -245,6 +245,16 @@ class BinaryAnalysis:
                 for kind in TransferKind
             },
             "spec_roots": sorted(self.spec_roots),
+            "syscall_reachability": {
+                name: [
+                    {
+                        "num": num,
+                        "name": SYSCALL_NAMES.get(num, f"sys#{num}"),
+                    }
+                    for num in sorted(nums)
+                ]
+                for name, nums in sorted(self.syscalls_per_function.items())
+            },
             "spec_reachable_insns": len(self.spec_reachable),
             "total_insns": len(self.binary.text),
             "elision": {

@@ -1,0 +1,1145 @@
+"""Speculation-security taint analysis (analysis stage 5).
+
+The paper's hint channel is observable: every speculative ``SPEC_READ``
+discloses an (ino, offset, length) triple to the OS, and the resulting
+prefetch pattern is visible to anything that can watch the disk.  That
+makes the hint queue a classic transmission channel in the sense of the
+speculative-leak literature (Speculose; "Abstract Interpretation under
+Speculative Execution"): if a *secret-derived* value ever reaches a hint
+operand along a speculatively reachable path, the binary leaks.
+
+This module proves it can't (or produces a witness when it can):
+
+* programs mark secret data regions in the assembler
+  (``data_bytes(..., secret=True)``); each secret symbol is one taint
+  *label*;
+* a taint domain — ``Taint = FrozenSet[label]``, join = union — runs in
+  lockstep with the interval/function-pointer/stack-slot domain from
+  :mod:`repro.analysis.absint` through the same worklist solver, so taint
+  decisions can lean on value information (a provably *constant* result
+  carries no data taint: ``andi x, secret, 0`` sanitizes);
+* memory taint is bucketed per data symbol (plus a catch-all for
+  non-data addresses), stack-slot taint rides the tracked slots;
+* **implicit flows**: a branch (or switch) on a tainted condition taints
+  every value defined in its control-dependent region, computed from
+  postdominators (Ferrante–Ottenstein regions) and iterated to a fixed
+  point;
+* **interprocedural**: context-insensitive call summaries (return and
+  scratch-register taint, memory taint effects) iterated with the
+  per-call-site entry environments to a global fixed point;
+* **sinks**: every speculation-reachable ``read`` (it becomes a
+  ``SPEC_READ`` hint disclosure in shadow code) and every manual hint
+  ioctl.  Channels: ``ino`` (fd identity, register ``a0``), ``offset``
+  (a coarse per-state file-offset channel fed by ``lseek`` operands and
+  read lengths), ``length`` (register ``a2``), and ``control`` (the
+  *occurrence* of the disclosure is secret-dependent).
+
+Soundness boundary: calls are maximally conservative (a callee may
+return anything derived from its arguments or reachable memory);
+functions are entered only through flows the call graph exposes
+(matching the handler's "function entries only" rule); writes through
+pointers into a caller's live stack frame are folded into the memory
+smear rather than per-slot taint; postdominator regions under-approximate
+inside infinite loops (none of the shipped binaries has one).  Every
+*declared* secret is tracked; the lint cannot see secrets a program
+never marks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.absint import (
+    _MAX_STEPS,
+    _WIDEN_AFTER,
+    AbsState,
+    AbsVal,
+    ValueKind,
+    _edge_states,
+    address_of,
+    step,
+)
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.dataflow import CALL_CLOBBERS, defs_uses, reaching_definitions
+from repro.analysis.driver import (
+    BinaryAnalysis,
+    LintFinding,
+    TransferKind,
+    analyze_binary,
+)
+from repro.errors import AnalysisError
+from repro.params import SpecHintParams
+from repro.vm.binary import Binary, Function
+from repro.vm.disasm import format_insn
+from repro.vm.isa import (
+    BRANCH_OPS,
+    NUM_REGS,
+    SEEK_SET,
+    SYS_HINT_FD_SEG,
+    SYS_HINT_SEG,
+    SYS_LSEEK,
+    SYS_OPEN,
+    SYS_READ,
+    Insn,
+    Op,
+    Reg,
+)
+from repro.vm.memory import DATA_BASE
+
+# -- the taint lattice --------------------------------------------------------
+
+#: One taint value: the set of secret-region labels a value may derive
+#: from.  Bottom is the empty set; the lattice is the powerset of the
+#: binary's secret symbols, so it is finite and join = union suffices
+#: for termination (widening degenerates to join).
+Taint = FrozenSet[str]
+
+EMPTY_TAINT: Taint = frozenset()
+
+
+def taint_join(a: Taint, b: Taint) -> Taint:
+    """Least upper bound: set union."""
+    return a | b
+
+
+def taint_widen(a: Taint, b: Taint) -> Taint:
+    """Widening: the lattice is finite, so plain join already terminates."""
+    return taint_join(a, b)
+
+
+_ZERO = int(Reg.zero)
+_RA = int(Reg.ra)
+_V0 = int(Reg.v0)
+_V1 = int(Reg.v1)
+_A0 = int(Reg.a0)
+_A1 = int(Reg.a1)
+_A2 = int(Reg.a2)
+_ARG_REGS = tuple(int(r) for r in (Reg.a0, Reg.a1, Reg.a2, Reg.a3, Reg.a4, Reg.a5))
+
+#: Catch-all memory bucket for addresses outside the data segment
+#: (speculative heap, unmapped): one conflated cell.
+_HEAP_BUCKET = "@heap"
+
+_THREE_REG_ALU = frozenset({
+    Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.AND, Op.OR, Op.XOR,
+    Op.SHL, Op.SHR, Op.SLT,
+})
+_IMM_ALU = frozenset({
+    Op.ADDI, Op.MULI, Op.ANDI, Op.ORI, Op.SHLI, Op.SHRI, Op.SLTI,
+})
+
+#: Ordered leak channels (report order is stable).
+CHANNELS = ("ino", "offset", "length", "control")
+
+#: Bound on interprocedural rounds / implicit-flow iterations (defence in
+#: depth: both lattices are finite, so the fixpoints terminate anyway).
+_MAX_ROUNDS = 64
+
+
+class TaintState:
+    """Taint component of the product state.
+
+    Mirrors :class:`~repro.analysis.absint.AbsState` (registers + tracked
+    stack slots) and adds the memory buckets, the smear (writes through
+    unresolved pointers), and the coarse file-offset channel.
+    """
+
+    __slots__ = ("regs", "slots", "mem", "smear", "offset")
+
+    def __init__(
+        self,
+        regs: Optional[List[Taint]] = None,
+        slots: Optional[Dict[int, Taint]] = None,
+        mem: Optional[Dict[str, Taint]] = None,
+        smear: Taint = EMPTY_TAINT,
+        offset: Taint = EMPTY_TAINT,
+    ) -> None:
+        self.regs: List[Taint] = [EMPTY_TAINT] * NUM_REGS if regs is None else regs
+        self.slots: Dict[int, Taint] = {} if slots is None else slots
+        self.mem: Dict[str, Taint] = {} if mem is None else mem
+        self.smear = smear
+        self.offset = offset
+
+    def copy(self) -> "TaintState":
+        return TaintState(
+            list(self.regs), dict(self.slots), dict(self.mem),
+            self.smear, self.offset,
+        )
+
+    def get(self, reg: int) -> Taint:
+        return self.regs[reg]
+
+    def set(self, reg: int, taint: Taint) -> None:
+        if reg != _ZERO:  # architecturally pinned to 0: never tainted
+            self.regs[reg] = taint
+
+    def mem_union(self) -> Taint:
+        out = self.smear
+        for taint in self.mem.values():
+            out |= taint
+        return out
+
+    def join_with(self, other: "TaintState") -> "TaintState":
+        regs = [a | b for a, b in zip(self.regs, other.regs)]
+        slots: Dict[int, Taint] = dict(self.slots)
+        for key, taint in other.slots.items():
+            slots[key] = slots.get(key, EMPTY_TAINT) | taint
+        mem: Dict[str, Taint] = dict(self.mem)
+        for name, taint in other.mem.items():
+            mem[name] = mem.get(name, EMPTY_TAINT) | taint
+        return TaintState(
+            regs, slots, mem,
+            self.smear | other.smear, self.offset | other.offset,
+        )
+
+    @staticmethod
+    def _nonempty(d: Dict[object, Taint]) -> Dict[object, Taint]:
+        return {k: v for k, v in d.items() if v}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaintState):
+            return NotImplemented
+        return (
+            self.regs == other.regs
+            and self._nonempty(dict(self.slots)) == self._nonempty(dict(other.slots))
+            and self._nonempty(dict(self.mem)) == self._nonempty(dict(other.mem))
+            and self.smear == other.smear
+            and self.offset == other.offset
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - never used as a key
+        raise TypeError("TaintState is mutable and unhashable")
+
+
+# -- reports ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WitnessStep:
+    """One step of a leak's def-use witness chain."""
+
+    index: int
+    function: str
+    text: str
+    note: str
+
+    def format(self) -> str:
+        return f"@{self.index} [{self.function}] {self.text}  ; {self.note}"
+
+
+@dataclass(frozen=True)
+class LeakReport:
+    """One hint-disclosure site a secret can flow into."""
+
+    index: int
+    function: str
+    #: "spec-read" (a read that becomes a SPEC_READ hint in shadow code)
+    #: or "manual-hint" (a TIPIO hint ioctl issued directly).
+    site: str
+    #: Channel name -> sorted secret labels reaching that operand.
+    channels: Dict[str, Tuple[str, ...]]
+    witness: Tuple[WitnessStep, ...]
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        out: Set[str] = set()
+        for names in self.channels.values():
+            out.update(names)
+        return tuple(sorted(out))
+
+    def format(self) -> str:
+        chans = ", ".join(
+            f"{name}<-{{{', '.join(self.channels[name])}}}"
+            for name in CHANNELS if name in self.channels
+        )
+        lines = [
+            f"leak at {self.function}@{self.index} ({self.site}): {chans}"
+        ]
+        lines.extend(f"    {step.format()}" for step in self.witness)
+        return "\n".join(lines)
+
+
+@dataclass
+class SecurityPlan:
+    """The security lint's verdict over one binary."""
+
+    binary_name: str
+    secret_labels: Tuple[str, ...]
+    #: Speculation-reachable read sites (hint disclosure sites) plus
+    #: manual hint-ioctl sites, original-text indices.
+    disclosure_sites: Tuple[int, ...]
+    leaks: List[LeakReport]
+    functions_analyzed: Tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.leaks
+
+    def lint(self) -> List[LintFinding]:
+        findings = [
+            LintFinding(
+                "error", "secret-to-hint", leak.function, leak.index,
+                f"secret region(s) {', '.join(leak.labels)} flow into the "
+                f"{'/'.join(n for n in CHANNELS if n in leak.channels)} "
+                f"operand(s) of a disclosed hint ({leak.site})",
+            )
+            for leak in self.leaks
+        ]
+        findings.sort(key=lambda f: (f.function, -1 if f.index is None else f.index))
+        return findings
+
+    def to_jsonable(self) -> Dict[str, object]:
+        return {
+            "binary": self.binary_name,
+            "secret_regions": list(self.secret_labels),
+            "disclosure_sites": list(self.disclosure_sites),
+            "functions_analyzed": list(self.functions_analyzed),
+            "clean": self.clean,
+            "leaks": [
+                {
+                    "index": leak.index,
+                    "function": leak.function,
+                    "site": leak.site,
+                    "channels": {
+                        name: list(labels)
+                        for name, labels in sorted(leak.channels.items())
+                    },
+                    "witness": [
+                        {
+                            "index": step.index,
+                            "function": step.function,
+                            "text": step.text,
+                            "note": step.note,
+                        }
+                        for step in leak.witness
+                    ],
+                }
+                for leak in self.leaks
+            ],
+        }
+
+    def format_text(self) -> str:
+        lines = [
+            f"security analysis of {self.binary_name}: "
+            f"{len(self.secret_labels)} secret region(s), "
+            f"{len(self.disclosure_sites)} disclosure site(s), "
+            f"{len(self.leaks)} leak(s)",
+        ]
+        if self.secret_labels:
+            lines.append(f"  secrets: {', '.join(self.secret_labels)}")
+        if self.clean:
+            lines.append(
+                "  clean: no secret-derived value reaches a hint operand "
+                "along any speculatively reachable path"
+            )
+        else:
+            for leak in self.leaks:
+                lines.append("")
+                lines.extend("  " + ln for ln in leak.format().splitlines())
+        return "\n".join(lines)
+
+
+# -- data-segment bucket map --------------------------------------------------
+
+
+class _DataMap:
+    """Partition of the address space into taint buckets.
+
+    One bucket per data symbol (its extent runs to the next symbol), plus
+    ``@heap`` conflating everything outside the data segment that is not
+    the tracked stack.
+    """
+
+    def __init__(self, binary: Binary) -> None:
+        self.data_end = DATA_BASE + len(binary.data)
+        bounds = sorted(binary.data_symbols.items(), key=lambda kv: kv[1])
+        self.ranges: List[Tuple[int, int, str]] = []
+        for i, (name, base) in enumerate(bounds):
+            end = bounds[i + 1][1] if i + 1 < len(bounds) else self.data_end
+            self.ranges.append((base, max(end, base + 1), name))
+        self.all_buckets: Tuple[str, ...] = tuple(
+            name for _, _, name in self.ranges
+        ) + (_HEAP_BUCKET,)
+
+    def buckets_for(self, addr: AbsVal) -> Optional[Tuple[str, ...]]:
+        """Buckets ``addr`` may touch; ``None`` when unresolved (any)."""
+        if addr.kind is ValueKind.STACK:
+            return ()  # handled by the tracked stack slots
+        if addr.kind is not ValueKind.NUM or addr.lo is None or addr.hi is None:
+            return None
+        out = [
+            name for base, end, name in self.ranges
+            if addr.lo < end and addr.hi >= base
+        ]
+        if addr.lo < DATA_BASE or addr.hi >= self.data_end:
+            out.append(_HEAP_BUCKET)
+        return tuple(out)
+
+
+# -- control dependence -------------------------------------------------------
+
+_EXIT = -1
+
+
+def _postdominators(cfg: CFG) -> Dict[int, FrozenSet[int]]:
+    """Postdominator sets over blocks, against a virtual exit node."""
+    succs: Dict[int, List[int]] = {
+        b.block_id: (list(b.successors) or [_EXIT]) for b in cfg.blocks
+    }
+    nodes = set(succs) | {_EXIT}
+    pdom: Dict[int, Set[int]] = {_EXIT: {_EXIT}}
+    others = sorted(nodes - {_EXIT}, reverse=True)
+    for n in others:
+        pdom[n] = set(nodes)
+    changed = True
+    while changed:
+        changed = False
+        for n in others:
+            new: Set[int] = set(nodes)
+            for s in succs[n]:
+                new &= pdom[s]
+            new.add(n)
+            if new != pdom[n]:
+                pdom[n] = new
+                changed = True
+    return {n: frozenset(v) for n, v in pdom.items()}
+
+
+def _control_region(
+    cfg: CFG, pdom: Dict[int, FrozenSet[int]], block_id: int
+) -> FrozenSet[int]:
+    """Instruction indices control-dependent on ``block_id``'s terminator:
+    everything reachable from its successors short of a block that
+    postdominates the branch."""
+    stop = pdom[block_id] - {block_id}
+    region_blocks: Set[int] = set()
+    stack = list(cfg.blocks[block_id].successors)
+    while stack:
+        b = stack.pop()
+        if b in stop or b in region_blocks:
+            continue
+        region_blocks.add(b)
+        stack.extend(cfg.blocks[b].successors)
+    out: Set[int] = set()
+    for b in region_blocks:
+        out.update(cfg.blocks[b].indices())
+    return frozenset(out)
+
+
+# -- interprocedural summaries ------------------------------------------------
+
+
+@dataclass
+class _Summary:
+    """What a call to one function may do to its caller's taint state."""
+
+    ret: Taint = EMPTY_TAINT        # v0/v1 taint at returns
+    scratch: Taint = EMPTY_TAINT    # caller-saved register residue
+    mem: Dict[str, Taint] = field(default_factory=dict)
+    smear: Taint = EMPTY_TAINT
+    offset: Taint = EMPTY_TAINT
+
+    def join_in_place(self, other: "_Summary") -> bool:
+        changed = False
+        if other.ret - self.ret:
+            self.ret |= other.ret
+            changed = True
+        if other.scratch - self.scratch:
+            self.scratch |= other.scratch
+            changed = True
+        for name, taint in other.mem.items():
+            if taint - self.mem.get(name, EMPTY_TAINT):
+                self.mem[name] = self.mem.get(name, EMPTY_TAINT) | taint
+                changed = True
+        if other.smear - self.smear:
+            self.smear |= other.smear
+            changed = True
+        if other.offset - self.offset:
+            self.offset |= other.offset
+            changed = True
+        return changed
+
+
+@dataclass
+class _FuncReport:
+    """Per-function results of the final reporting pass."""
+
+    taint_before: Dict[int, Tuple[Taint, ...]] = field(default_factory=dict)
+    offset_before: Dict[int, Taint] = field(default_factory=dict)
+    load_mem_taint: Dict[int, Taint] = field(default_factory=dict)
+    implicit: Dict[int, Taint] = field(default_factory=dict)
+    controllers: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    sinks: List[Tuple[int, str, Dict[str, Taint]]] = field(default_factory=list)
+
+
+# -- the interpreter ----------------------------------------------------------
+
+
+class _TaintInterp:
+    """Whole-binary taint fixpoint over the product domain."""
+
+    def __init__(self, binary: Binary, analysis: BinaryAnalysis) -> None:
+        self.binary = binary
+        self.analysis = analysis
+        self.datamap = _DataMap(binary)
+        self.labels: Tuple[str, ...] = tuple(sorted(binary.secret_symbols))
+        self.cfgs: Dict[str, CFG] = dict(analysis.cfgs)
+        self.pdoms: Dict[str, Dict[int, FrozenSet[int]]] = {}
+        #: Per-function entry taint environment (join over call sites).
+        self.entry_env: Dict[str, TaintState] = {}
+        self.summaries: Dict[str, _Summary] = {
+            f.name: _Summary() for f in binary.functions
+        }
+        self.reports: Dict[str, _FuncReport] = {}
+        self._recording: Optional[_FuncReport] = None
+        self._implicit: Dict[int, Taint] = {}
+
+    # -- taint transfer ------------------------------------------------------
+
+    def _mem_load_taint(self, state: TaintState, addr: AbsVal) -> Taint:
+        buckets = self.datamap.buckets_for(addr)
+        if buckets is None:
+            buckets = self.datamap.all_buckets
+        out = state.smear
+        for name in buckets:
+            out |= state.mem.get(name, EMPTY_TAINT)
+        return out
+
+    def _mem_store(self, state: TaintState, addr: AbsVal, taint: Taint) -> None:
+        buckets = self.datamap.buckets_for(addr)
+        if buckets is None:
+            state.smear |= taint
+            return
+        for name in buckets:
+            state.mem[name] = state.mem.get(name, EMPTY_TAINT) | taint
+
+    def _callee_of(self, index: int, insn: Insn) -> Optional[str]:
+        if insn.op is Op.CALL:
+            target = self.binary.function_at_entry(insn.c)
+            return target.name if target is not None else None
+        fact = self.analysis.transfers.get(index)
+        if fact is not None and fact.kind is TransferKind.RESOLVED \
+                and fact.target is not None:
+            target = self.binary.function_at_entry(fact.target)
+            return target.name if target is not None else None
+        return None
+
+    def _flow_into(self, name: str, env: TaintState) -> bool:
+        existing = self.entry_env.get(name)
+        if existing is None:
+            self.entry_env[name] = env
+            return True
+        merged = existing.join_with(env)
+        if merged != existing:
+            self.entry_env[name] = merged
+            return True
+        return False
+
+    def _record_call_flow(self, callee: Optional[str], t: TaintState) -> bool:
+        env = t.copy()
+        env.slots = {}
+        env.regs[_RA] = EMPTY_TAINT
+        if callee is not None:
+            return self._flow_into(callee, env)
+        changed = False
+        for func in self.binary.functions:
+            if self._flow_into(func.name, env.copy()):
+                changed = True
+        return changed
+
+    def _apply_call(
+        self, t: TaintState, callee: Optional[str], imp: Taint
+    ) -> None:
+        if callee is not None:
+            summ = self.summaries[callee]
+            scratch = summ.scratch | imp
+            ret = summ.ret | imp
+            for name, taint in summ.mem.items():
+                t.mem[name] = t.mem.get(name, EMPTY_TAINT) | taint
+            t.smear |= summ.smear
+            t.offset |= summ.offset
+        else:
+            # Unknown callee: it may return anything derived from the
+            # arguments or any reachable memory.
+            u = t.mem_union() | t.offset | imp
+            for reg in _ARG_REGS:
+                u |= t.regs[reg]
+            for summ in self.summaries.values():
+                u |= summ.ret | summ.scratch
+            scratch = ret = u
+            t.smear |= u
+            t.offset |= u
+        for reg in CALL_CLOBBERS:
+            t.regs[reg] = scratch
+        t.set(_V0, ret)
+        t.set(_V1, ret)
+        t.regs[_RA] = imp
+        t.slots.clear()
+
+    def _syscall_taint(
+        self, t: TaintState, a: AbsState, insn: Insn, index: int, imp: Taint
+    ) -> None:
+        num = insn.c
+        rt = t.get
+        if num == SYS_OPEN:
+            # fd identity derives from the path pointer and the path bytes.
+            path = rt(_A0) | self._mem_load_taint(t, a.get(_A0)) | imp
+            t.set(_V0, path)
+            return
+        if num == SYS_READ:
+            t_in = rt(_A0) | t.offset | rt(_A2) | imp
+            t.set(_V0, t_in)
+            # The buffer now holds data selected by fd/offset/length.
+            buf = a.get(_A1)
+            if buf.kind is ValueKind.STACK:
+                for key in t.slots:
+                    t.slots[key] |= t_in
+            else:
+                self._mem_store(t, buf, t_in | rt(_A1))
+            # The file offset advances by the amount read.
+            t.offset |= rt(_A0) | rt(_A2) | imp
+            return
+        if num == SYS_LSEEK:
+            moved = rt(_A0) | rt(_A1) | imp
+            whence = a.get(_A2)
+            if whence.is_const and whence.lo == SEEK_SET:
+                t.offset = moved  # absolute seek: prior offset is dead
+            else:
+                t.offset |= moved
+            t.set(_V0, moved | t.offset)
+            return
+        if num in (SYS_HINT_SEG, SYS_HINT_FD_SEG):
+            t.set(_V0, imp)
+            return
+        t.set(_V0, rt(_A0) | rt(_A1) | rt(_A2) | imp)
+
+    def _exec(
+        self, a: AbsState, t: TaintState, insn: Insn, index: int
+    ) -> None:
+        """One instruction over the product state (taint first: it needs
+        the *pre*-step abstract values for address resolution)."""
+        op = insn.op
+        imp = self._implicit.get(index, EMPTY_TAINT)
+        rt = t.get
+
+        if op in (Op.LI, Op.LA):
+            t.set(insn.a, imp)
+        elif op is Op.MOV:
+            t.set(insn.a, rt(insn.b) | imp)
+        elif op in _THREE_REG_ALU:
+            t.set(insn.a, rt(insn.b) | rt(insn.c) | imp)
+        elif op in _IMM_ALU:
+            t.set(insn.a, rt(insn.b) | imp)
+        elif op in (Op.LOAD, Op.LOADB):
+            addr = address_of(a.get(insn.b), insn.c)
+            if addr.kind is ValueKind.STACK:
+                mem_taint = t.slots.get(addr.delta, EMPTY_TAINT) | t.smear
+            else:
+                mem_taint = self._mem_load_taint(t, addr)
+            if self._recording is not None:
+                self._recording.load_mem_taint[index] = mem_taint
+            t.set(insn.a, mem_taint | rt(insn.b) | imp)
+        elif op in (Op.STORE, Op.STOREB):
+            val = rt(insn.a) | rt(insn.b) | imp
+            addr = address_of(a.get(insn.b), insn.c)
+            if addr.kind is ValueKind.STACK:
+                if op is Op.STORE:
+                    t.slots[addr.delta] = val
+                else:
+                    t.slots[addr.delta] = t.slots.get(addr.delta, EMPTY_TAINT) | val
+                for key in t.slots:
+                    if key != addr.delta and key < addr.delta + 8 \
+                            and addr.delta < key + 8:
+                        t.slots[key] |= val
+            else:
+                self._mem_store(t, addr, val)
+        elif op in (Op.CALL, Op.CALLR):
+            callee = self._callee_of(index, insn)
+            self._apply_call(t, callee, imp)
+        elif op is Op.SYSCALL:
+            self._syscall_taint(t, a, insn, index, imp)
+        # Branches, JMP, JR, SWITCH, NOP, HALT, CWORK: no register effects
+        # (condition taint feeds the implicit-flow pass instead).
+
+        step(a, insn)
+
+        # Constant sanitization: a provably constant result cannot carry
+        # data taint (its value is the same under every secret).  Implicit
+        # taint survives — *which* constant ran can still be the leak.
+        if op in _THREE_REG_ALU or op in _IMM_ALU or op is Op.MOV:
+            if a.get(insn.a).is_const:
+                t.set(insn.a, imp)
+
+    # -- per-function fixpoint ----------------------------------------------
+
+    def _branch_cond_taint(
+        self, insn: Insn, t: TaintState
+    ) -> Taint:
+        if insn.op in BRANCH_OPS:
+            return t.get(insn.a) | t.get(insn.b)
+        if insn.op is Op.SWITCH:
+            return t.get(insn.a)
+        return EMPTY_TAINT
+
+    def _solve(
+        self, func: Function, entry_taint: TaintState
+    ) -> Tuple[Dict[int, AbsState], Dict[int, TaintState]]:
+        """Product fixpoint under the current implicit-taint map."""
+        binary = self.binary
+        cfg = self.cfgs[func.name]
+        abs_in: Dict[int, AbsState] = {cfg.entry_block: AbsState()}
+        taint_in: Dict[int, TaintState] = {cfg.entry_block: entry_taint.copy()}
+        visits: Dict[int, int] = {}
+        worklist: List[int] = [cfg.entry_block]
+        steps = 0
+
+        while worklist:
+            block_id = worklist.pop(0)
+            steps += 1
+            if steps > _MAX_STEPS:
+                raise AnalysisError(
+                    f"{binary.name}/{func.name}: taint fixpoint did not "
+                    f"converge within {_MAX_STEPS} steps"
+                )
+            visits[block_id] = visits.get(block_id, 0) + 1
+            a_state = abs_in[block_id].copy()
+            t_state = taint_in[block_id].copy()
+            block = cfg.blocks[block_id]
+            for index in range(block.start, block.end - 1):
+                self._exec(a_state, t_state, binary.text[index], index)
+            term = block.terminator
+            term_insn = binary.text[term]
+            term_edges = _edge_states(binary, cfg, a_state, term)
+            self._exec(a_state, t_state, term_insn, term)
+            for succ, abs_edge in term_edges.items():
+                if abs_edge is None:
+                    continue  # provably infeasible edge
+                if term_insn.op not in BRANCH_OPS \
+                        and term_insn.op is not Op.SWITCH:
+                    abs_edge = a_state.copy()
+                else:
+                    step(abs_edge, term_insn)
+                t_edge = t_state.copy()
+                existing_a = abs_in.get(succ)
+                if existing_a is None:
+                    abs_in[succ] = abs_edge
+                    taint_in[succ] = t_edge
+                    worklist.append(succ)
+                    continue
+                widening = visits.get(succ, 0) >= _WIDEN_AFTER
+                merged_a = existing_a.join_with(abs_edge, widening=widening)
+                merged_t = taint_in[succ].join_with(t_edge)
+                if merged_a != existing_a or merged_t != taint_in[succ]:
+                    abs_in[succ] = merged_a
+                    taint_in[succ] = merged_t
+                    if succ not in worklist:
+                        worklist.append(succ)
+        return abs_in, taint_in
+
+    def _implicit_for(
+        self,
+        func: Function,
+        abs_in: Dict[int, AbsState],
+        taint_in: Dict[int, TaintState],
+        implicit: Dict[int, Taint],
+        controllers: Dict[int, Set[int]],
+    ) -> bool:
+        """Extend ``implicit`` with this solution's tainted-branch regions.
+        Returns True when anything grew."""
+        binary = self.binary
+        cfg = self.cfgs[func.name]
+        pdom = self.pdoms[func.name]
+        changed = False
+        for block_id, t_in in taint_in.items():
+            block = cfg.blocks[block_id]
+            a_state = abs_in[block_id].copy()
+            t_state = t_in.copy()
+            for index in range(block.start, block.end - 1):
+                self._exec(a_state, t_state, binary.text[index], index)
+            term = block.terminator
+            cond = self._branch_cond_taint(binary.text[term], t_state)
+            if not cond:
+                continue
+            for index in _control_region(cfg, pdom, block_id):
+                if cond - implicit.get(index, EMPTY_TAINT):
+                    implicit[index] = implicit.get(index, EMPTY_TAINT) | cond
+                    controllers.setdefault(index, set()).add(term)
+                    changed = True
+        return changed
+
+    def _final_pass(
+        self,
+        func: Function,
+        abs_in: Dict[int, AbsState],
+        taint_in: Dict[int, TaintState],
+        implicit: Dict[int, Taint],
+        controllers: Dict[int, Set[int]],
+    ) -> Tuple[_Summary, bool]:
+        """Record per-index snapshots, sinks, call flows and the summary."""
+        binary = self.binary
+        cfg = self.cfgs[func.name]
+        report = _FuncReport(
+            implicit=dict(implicit),
+            controllers={k: tuple(sorted(v)) for k, v in controllers.items()},
+        )
+        self.reports[func.name] = report
+        self._recording = report
+        summary = _Summary()
+        env_changed = False
+
+        for block_id, t_in in taint_in.items():
+            a_state = abs_in[block_id].copy()
+            t_state = t_in.copy()
+            block = cfg.blocks[block_id]
+            for index in block.indices():
+                insn = binary.text[index]
+                report.taint_before[index] = tuple(t_state.regs)
+                report.offset_before[index] = t_state.offset
+                if insn.op is Op.SYSCALL:
+                    sink = self._sink_channels(index, insn, a_state, t_state)
+                    if sink is not None:
+                        report.sinks.append(sink)
+                if insn.op in (Op.CALL, Op.CALLR):
+                    callee = self._callee_of(index, insn)
+                    if self._record_call_flow(callee, t_state):
+                        env_changed = True
+                self._exec(a_state, t_state, insn, index)
+            if binary.text[block.terminator].op is Op.JR:
+                # Intraprocedurally a JR ends the function: fold this exit
+                # state into the call summary.
+                exit_summ = _Summary(
+                    ret=t_state.get(_V0) | t_state.get(_V1),
+                    scratch=EMPTY_TAINT.union(
+                        *(t_state.regs[r] for r in CALL_CLOBBERS)
+                    ),
+                    mem=dict(t_state.mem),
+                    smear=t_state.smear,
+                    offset=t_state.offset,
+                )
+                summary.join_in_place(exit_summ)
+        self._recording = None
+        return summary, env_changed
+
+    def _sink_channels(
+        self, index: int, insn: Insn, a: AbsState, t: TaintState
+    ) -> Optional[Tuple[int, str, Dict[str, Taint]]]:
+        imp = self._implicit.get(index, EMPTY_TAINT)
+        if insn.c == SYS_READ and index in self.analysis.spec_reachable:
+            channels = {
+                "ino": t.get(_A0),
+                "offset": t.offset,
+                "length": t.get(_A2),
+                "control": imp,
+            }
+            kind = "spec-read"
+        elif insn.c in (SYS_HINT_SEG, SYS_HINT_FD_SEG):
+            ino = t.get(_A0)
+            if insn.c == SYS_HINT_SEG:
+                ino |= self._mem_load_taint(t, a.get(_A0))
+            channels = {
+                "ino": ino,
+                "offset": t.get(_A1),
+                "length": t.get(_A2),
+                "control": imp,
+            }
+            kind = "manual-hint"
+        else:
+            return None
+        channels = {name: taint for name, taint in channels.items() if taint}
+        if not channels:
+            return None
+        return (index, kind, channels)
+
+    # -- whole-binary driver -------------------------------------------------
+
+    def run(self) -> Tuple[List[LeakReport], Tuple[str, ...]]:
+        binary = self.binary
+        entry_func = binary.function_containing(binary.entry_point)
+        if entry_func is None:
+            raise AnalysisError(
+                f"{binary.name}: entry point outside every function"
+            )
+        for func in binary.functions:
+            if func.name not in self.cfgs:
+                self.cfgs[func.name] = build_cfg(binary, func)
+            self.pdoms[func.name] = _postdominators(self.cfgs[func.name])
+
+        entry_state = TaintState(
+            mem={name: frozenset({name}) for name in self.labels}
+        )
+        self.entry_env[entry_func.name] = entry_state
+
+        implicit_maps: Dict[str, Dict[int, Taint]] = {}
+        controller_maps: Dict[str, Dict[int, Set[int]]] = {}
+
+        rounds = 0
+        changed = True
+        while changed:
+            rounds += 1
+            if rounds > _MAX_ROUNDS:
+                raise AnalysisError(
+                    f"{binary.name}: interprocedural taint fixpoint did "
+                    f"not converge within {_MAX_ROUNDS} rounds"
+                )
+            changed = False
+            for func in binary.functions:
+                env = self.entry_env.get(func.name)
+                if env is None:
+                    continue  # no flow ever enters this function
+                implicit = implicit_maps.setdefault(func.name, {})
+                controllers = controller_maps.setdefault(func.name, {})
+                # Inner loop: stabilize implicit flows for this function.
+                for _ in range(_MAX_ROUNDS):
+                    self._implicit = implicit
+                    abs_in, taint_in = self._solve(func, env)
+                    if not self._implicit_for(
+                        func, abs_in, taint_in, implicit, controllers
+                    ):
+                        break
+                else:  # pragma: no cover - finite lattice
+                    raise AnalysisError(
+                        f"{binary.name}/{func.name}: implicit-flow pass "
+                        f"did not converge"
+                    )
+                self._implicit = implicit
+                summary, env_changed = self._final_pass(
+                    func, abs_in, taint_in, implicit, controllers
+                )
+                if env_changed:
+                    changed = True
+                if self.summaries[func.name].join_in_place(summary):
+                    changed = True
+
+        leaks = self._build_leaks()
+        analyzed = tuple(sorted(self.entry_env))
+        return leaks, analyzed
+
+    # -- witnesses -----------------------------------------------------------
+
+    def _build_leaks(self) -> List[LeakReport]:
+        leaks: List[LeakReport] = []
+        for func in self.binary.functions:
+            report = self.reports.get(func.name)
+            if report is None:
+                continue
+            seen: Set[int] = set()
+            for index, kind, channels in sorted(report.sinks):
+                if index in seen:
+                    continue
+                seen.add(index)
+                witness = self._witness(func, report, index, channels)
+                leaks.append(LeakReport(
+                    index=index,
+                    function=func.name,
+                    site=kind,
+                    channels={
+                        name: tuple(sorted(taint))
+                        for name, taint in channels.items()
+                    },
+                    witness=tuple(witness),
+                ))
+        leaks.sort(key=lambda leak: (leak.function, leak.index))
+        return leaks
+
+    def _witness(
+        self,
+        func: Function,
+        report: _FuncReport,
+        index: int,
+        channels: Dict[str, Taint],
+    ) -> List[WitnessStep]:
+        binary = self.binary
+        text = binary.text
+        steps = [WitnessStep(
+            index, func.name, format_insn(text[index]),
+            "hint disclosure site: "
+            + "/".join(n for n in CHANNELS if n in channels)
+            + " operand(s) tainted",
+        )]
+        cfg = self.cfgs[func.name]
+        rdefs = reaching_definitions(binary, cfg)
+
+        start: Optional[Tuple[int, int]] = None
+        if "ino" in channels:
+            start = (index, _A0)
+        elif "length" in channels:
+            start = (index, _A2)
+        elif "offset" in channels:
+            site = self._offset_source(func, report, index)
+            if site is not None:
+                src_index, src_reg = site
+                steps.append(WitnessStep(
+                    src_index, func.name, format_insn(text[src_index]),
+                    "taints the file-offset channel consumed by the hint",
+                ))
+                start = (src_index, src_reg)
+        elif "control" in channels:
+            ctrl = report.controllers.get(index)
+            if ctrl:
+                branch = ctrl[0]
+                steps.append(WitnessStep(
+                    branch, func.name, format_insn(text[branch]),
+                    "disclosure is control-dependent on this tainted branch",
+                ))
+                start = self._tainted_operand(report, branch)
+
+        if start is not None:
+            steps.extend(self._chain(func, report, rdefs, start))
+        return steps
+
+    def _offset_source(
+        self, func: Function, report: _FuncReport, sink: int
+    ) -> Optional[Tuple[int, int]]:
+        """The nearest preceding lseek/read whose operands taint the
+        offset channel, and the register to chain from."""
+        text = self.binary.text
+        for idx in range(sink - 1, func.entry - 1, -1):
+            insn = text[idx]
+            if insn.op is not Op.SYSCALL or insn.c not in (SYS_LSEEK, SYS_READ):
+                continue
+            regs = report.taint_before.get(idx)
+            if regs is None:
+                continue
+            for reg in (_A1, _A0, _A2):
+                if regs[reg]:
+                    return (idx, reg)
+        return None
+
+    def _tainted_operand(
+        self, report: _FuncReport, index: int
+    ) -> Optional[Tuple[int, int]]:
+        regs = report.taint_before.get(index)
+        if regs is None:
+            return None
+        _, uses = defs_uses(self.binary.text[index])
+        for reg in sorted(uses):
+            if regs[reg]:
+                return (index, reg)
+        return None
+
+    def _chain(
+        self,
+        func: Function,
+        report: _FuncReport,
+        rdefs: Dict[int, FrozenSet[Tuple[int, int]]],
+        start: Tuple[int, int],
+    ) -> List[WitnessStep]:
+        text = self.binary.text
+        steps: List[WitnessStep] = []
+        visited: Set[Tuple[int, int]] = set()
+        cur: Optional[Tuple[int, int]] = start
+        for _ in range(16):
+            if cur is None or cur in visited:
+                break
+            visited.add(cur)
+            at, reg = cur
+            defs = sorted(
+                d for (d, r) in rdefs.get(at, frozenset()) if r == reg
+            )
+            if not defs:
+                break
+            d = defs[-1]
+            insn = text[d]
+            regs = report.taint_before.get(d)
+            imp = report.implicit.get(d, EMPTY_TAINT)
+            note = "propagates taint"
+            nxt: Optional[Tuple[int, int]] = None
+            if insn.op in (Op.LOAD, Op.LOADB):
+                mem_taint = report.load_mem_taint.get(d, EMPTY_TAINT)
+                if regs is not None and regs[insn.b]:
+                    note = "loads through a secret-derived address"
+                    nxt = (d, insn.b)
+                elif mem_taint:
+                    note = (
+                        "loads memory tainted by secret region(s) "
+                        + ", ".join(sorted(mem_taint))
+                    )
+                else:
+                    note = "loads secret-tainted memory"
+            elif insn.op is Op.MOV and regs is not None and regs[insn.b]:
+                nxt = (d, insn.b)
+            elif insn.op in _THREE_REG_ALU and regs is not None:
+                for operand in (insn.b, insn.c):
+                    if regs[operand]:
+                        nxt = (d, operand)
+                        break
+            elif insn.op in _IMM_ALU and regs is not None and regs[insn.b]:
+                nxt = (d, insn.b)
+            elif insn.op is Op.SYSCALL:
+                note = "syscall result derives from tainted operands"
+                nxt = self._tainted_operand(report, d)
+            if nxt is None and imp:
+                ctrl = report.controllers.get(d)
+                if ctrl:
+                    steps.append(WitnessStep(
+                        d, func.name, format_insn(insn),
+                        "implicit flow: defined under a tainted branch",
+                    ))
+                    branch = ctrl[0]
+                    steps.append(WitnessStep(
+                        branch, func.name, format_insn(text[branch]),
+                        "the controlling branch condition is secret-tainted",
+                    ))
+                    cur = self._tainted_operand(report, branch)
+                    continue
+                note = "implicit flow from a tainted branch"
+            steps.append(WitnessStep(d, func.name, format_insn(insn), note))
+            cur = nxt
+        return steps
+
+
+# -- public entry point -------------------------------------------------------
+
+
+def analyze_security(
+    binary: Binary,
+    params: Optional[SpecHintParams] = None,
+    analysis: Optional[BinaryAnalysis] = None,
+) -> SecurityPlan:
+    """Run the speculation-security taint analysis over one binary.
+
+    Reuses ``analysis`` (the :func:`repro.analysis.driver.analyze_binary`
+    result) when the caller already has it; computes it otherwise.
+    """
+    if getattr(binary, "spec_meta", None) is not None:
+        raise AnalysisError(
+            f"{binary.name}: analyze the original binary, not the "
+            f"transformed one (shadow code is generated, not analyzed)"
+        )
+    if analysis is None:
+        analysis = analyze_binary(binary, params)
+
+    sites = sorted(
+        index
+        for index in analysis.spec_reachable
+        if 0 <= index < len(binary.text)
+        and binary.text[index].op is Op.SYSCALL
+        and binary.text[index].c == SYS_READ
+    )
+    for index, insn in enumerate(binary.text):
+        if insn.op is Op.SYSCALL and insn.c in (SYS_HINT_SEG, SYS_HINT_FD_SEG):
+            sites.append(index)
+    disclosure_sites = tuple(sorted(set(sites)))
+    labels = tuple(sorted(binary.secret_symbols))
+
+    if not labels:
+        # No declared secrets: the taint lattice is {∅} and the binary is
+        # vacuously clean.  Skip the fixpoint but keep the site inventory.
+        return SecurityPlan(
+            binary_name=binary.name,
+            secret_labels=(),
+            disclosure_sites=disclosure_sites,
+            leaks=[],
+            functions_analyzed=tuple(f.name for f in binary.functions),
+        )
+
+    interp = _TaintInterp(binary, analysis)
+    leaks, analyzed = interp.run()
+    return SecurityPlan(
+        binary_name=binary.name,
+        secret_labels=labels,
+        disclosure_sites=disclosure_sites,
+        leaks=leaks,
+        functions_analyzed=analyzed,
+    )

@@ -14,10 +14,14 @@ Commands
     Run the SpecHint tool over a benchmark binary and print the Table 3
     statistics plus a disassembly excerpt around the shadow boundary.
 
-``analyze APP [--json] [--lint]``
+``analyze APP [--json] [--lint] [--security]``
     Run the static-analysis pipeline (CFG, dataflow, abstract
     interpretation) over a benchmark binary and print the store/transfer
     classification report; ``--lint`` exits non-zero on error findings.
+    ``--security`` runs the speculation-security taint lint instead:
+    it proves (or refutes, with a witness def-use chain) that no
+    secret-marked data region can flow into the operands of a disclosed
+    I/O hint; with ``--lint`` any leak exits non-zero.
 
 ``sweep {disks,cache,ratio,degraded}``
     Regenerate one of the paper's sweep experiments (Figure 5 / Table 7 /
@@ -208,17 +212,10 @@ def _build_app_binary(app: str, scale: float) -> "object":
     """Assemble one example app (or analysis fixture) without running it."""
     from repro.fs.filesystem import FileSystem
 
-    if app in ("unsafe-fixture", "safe-fixture"):
-        from repro.analysis.fixtures import (
-            build_safe_fixture,
-            build_unsafe_fixture,
-        )
+    from repro.analysis.fixtures import FIXTURES
 
-        builder = {
-            "unsafe-fixture": build_unsafe_fixture,
-            "safe-fixture": build_safe_fixture,
-        }[app]
-        return builder()
+    if app in FIXTURES:
+        return FIXTURES[app]()
     from repro.harness.runner import _BUILDERS
 
     return _BUILDERS[app](FileSystem(), scale, False)
@@ -277,6 +274,23 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     binary = _build_app_binary(args.app, args.scale)
     analysis = analyze_binary(binary, map_all_addresses=args.map_all)
+
+    if getattr(args, "security", False):
+        from repro.analysis.taint import analyze_security
+
+        plan = analyze_security(binary, analysis=analysis)
+        if args.json:
+            print(json.dumps(plan.to_jsonable(), indent=2, sort_keys=True))
+        else:
+            print(plan.format_text())
+        if args.lint:
+            findings = plan.lint()
+            if findings:
+                print(f"\nsecurity lint: {len(findings)} leak(s)",
+                      file=sys.stderr)
+                return 1
+            print("\nsecurity lint: ok (no secret-to-hint flows)")
+        return 0
 
     if args.json:
         print(json.dumps(analysis.to_jsonable(), indent=2, sort_keys=True))
@@ -483,15 +497,22 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze",
         help="static analysis: CFG, dataflow, store classes, transfers",
     )
-    an_p.add_argument("app",
-                      choices=ALL_APPS + ("unsafe-fixture", "safe-fixture"))
+    from repro.analysis.fixtures import FIXTURES
+
+    an_p.add_argument("app", choices=ALL_APPS + tuple(sorted(FIXTURES)))
     an_p.add_argument("--scale", type=float, default=1.0)
     an_p.add_argument("--json", action="store_true",
                       help="emit the full report as JSON")
     an_p.add_argument("--lint", action="store_true",
                       help="exit non-zero when any error-severity finding "
                            "exists (unmappable transfers, unpolicied "
-                           "speculation-reachable syscalls)")
+                           "speculation-reachable syscalls; with "
+                           "--security: any secret-to-hint flow)")
+    an_p.add_argument("--security", action="store_true",
+                      help="run the speculation-security taint lint: prove "
+                           "no secret-marked data region can influence the "
+                           "(ino, offset, length) operands of a disclosed "
+                           "I/O hint")
     an_p.add_argument("--map-all", action="store_true", dest="map_all",
                       help="analyze under the map-all-addresses ablation "
                            "(reports only; the elision plan is empty)")

@@ -77,6 +77,9 @@ class SpecMeta:
     stripped_routines: List[str] = field(default_factory=list)
     #: Static-analysis results, when the tool ran with ``optimize=True``.
     analysis: Optional[BinaryAnalysis] = None
+    #: Hint disclosure sites: original SYS_READ index -> shadow SPEC_READ
+    #: index.  Security reports key leak findings to these sites.
+    hint_sites: Dict[int, int] = field(default_factory=dict)
 
     def to_shadow(self, original_index: int) -> int:
         """Map any original text index to its shadow twin (mechanically
@@ -151,6 +154,7 @@ class SpecHintTool:
                 counters.jump_tables_unrecognized += 1
 
         shadow_text: List[Insn] = []
+        hint_sites: Dict[int, int] = {}
         for index, insn in enumerate(binary.text):
             func = func_names[index]
             shadow_text.append(
@@ -159,6 +163,8 @@ class SpecHintTool:
                     plan, counters,
                 )
             )
+            if insn.op is Op.SYSCALL and insn.c == SYS_READ:
+                hint_sites[index] = index + shadow_base
 
         text = list(binary.text) + shadow_text
         functions = list(binary.functions) + [
@@ -205,6 +211,7 @@ class SpecHintTool:
             report=report,
             stripped_routines=sorted(binary.output_routines),
             analysis=analysis,
+            hint_sites=hint_sites,
         )
 
         return SpeculatingBinary(
@@ -217,6 +224,7 @@ class SpecHintTool:
             binary.entry_point,
             output_routines=set(binary.output_routines),
             optimized_stdlib=set(binary.optimized_stdlib),
+            secret_symbols=set(binary.secret_symbols),
             spec_meta=meta,
         )
 

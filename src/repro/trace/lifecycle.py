@@ -259,6 +259,18 @@ class HintLifecycle:
         """Detailed records, disclosure order (may be capped; see class doc)."""
         return [self._records[seq] for seq in sorted(self._records)]
 
+    def disclosed_keys(self) -> List[BlockKey]:
+        """Every (ino, block) key disclosed, in disclosure order.
+
+        This is the hint ledger as an *observer* sees it — exactly the
+        channel the speculation-security lint reasons about: if a secret
+        influences which keys appear here, the secret has leaked into an
+        observable access pattern.  The security correlation tests diff
+        this sequence across runs that differ only in secret data.
+        (Capped at ``capacity`` like :meth:`records`.)
+        """
+        return [self._records[seq].key for seq in sorted(self._records)]
+
     def summary_counts(self) -> Dict[str, int]:
         """The lifecycle ledger: disclosed and every terminal bucket."""
         return {

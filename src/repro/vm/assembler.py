@@ -64,6 +64,7 @@ class Assembler:
         self._entry_label: Optional[str] = None
         self._output_routines: Set[str] = set()
         self._optimized_stdlib: Set[str] = set()
+        self._secret_symbols: Set[str] = set()
 
     # -- data section ------------------------------------------------------------
 
@@ -71,34 +72,43 @@ class Assembler:
         while len(self._data) % alignment:
             self._data.append(0)
 
-    def data_word(self, name: str, value: int = 0) -> int:
+    def data_word(self, name: str, value: int = 0, secret: bool = False) -> int:
         """An 8-byte global; returns its absolute address."""
         self._align(8)
-        return self.data_bytes(name, (value & ((1 << 64) - 1)).to_bytes(8, "little"))
+        return self.data_bytes(
+            name, (value & ((1 << 64) - 1)).to_bytes(8, "little"), secret=secret
+        )
 
-    def data_words(self, name: str, values: List[int]) -> int:
+    def data_words(self, name: str, values: List[int], secret: bool = False) -> int:
         """An array of 8-byte words."""
         self._align(8)
         payload = b"".join((v & ((1 << 64) - 1)).to_bytes(8, "little") for v in values)
-        return self.data_bytes(name, payload)
+        return self.data_bytes(name, payload, secret=secret)
 
-    def data_bytes(self, name: str, payload: bytes) -> int:
-        """Raw initialized bytes; returns the absolute address."""
+    def data_bytes(self, name: str, payload: bytes, secret: bool = False) -> int:
+        """Raw initialized bytes; returns the absolute address.
+
+        ``secret=True`` marks the symbol's bytes as secret: the security
+        lint (``repro analyze --security``) proves no hint operand ever
+        derives from them.
+        """
         if name in self._data_symbols:
             raise AssemblyError(f"duplicate data symbol {name!r}")
         addr = DATA_BASE + len(self._data)
         self._data_symbols[name] = addr
         self._data.extend(payload)
+        if secret:
+            self._secret_symbols.add(name)
         return addr
 
-    def data_asciiz(self, name: str, text: str) -> int:
+    def data_asciiz(self, name: str, text: str, secret: bool = False) -> int:
         """A NUL-terminated string."""
-        return self.data_bytes(name, text.encode("ascii") + b"\x00")
+        return self.data_bytes(name, text.encode("ascii") + b"\x00", secret=secret)
 
-    def data_space(self, name: str, nbytes: int) -> int:
+    def data_space(self, name: str, nbytes: int, secret: bool = False) -> int:
         """Zero-initialized space (buffers)."""
         self._align(8)
-        return self.data_bytes(name, b"\x00" * nbytes)
+        return self.data_bytes(name, b"\x00" * nbytes, secret=secret)
 
     def data_addr(self, name: str) -> int:
         """Address of an existing data symbol."""
@@ -372,4 +382,5 @@ class Assembler:
             entry_point=entry,
             output_routines=self._output_routines,
             optimized_stdlib=self._optimized_stdlib,
+            secret_symbols=self._secret_symbols,
         )

@@ -10,13 +10,40 @@ so the Table 3 statistics are comparable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import AssemblyError
 from repro.vm.isa import Insn, Op
+from repro.vm.memory import DATA_BASE
 
 #: Alpha instructions are 4 bytes.
 INSN_BYTES = 4
+
+
+class SecretRegion:
+    """A data-segment region the program declares secret.
+
+    Mirrors what a real tool would recover from an annotated section
+    (``.secret``) or an mlock/MADV_DONTDUMP-style marking: a named
+    ``[base, end)`` byte range whose contents must never influence the
+    (ino, offset, length) operands of a disclosed I/O hint — the hint
+    queue and the resulting prefetch pattern are observable.
+    """
+
+    __slots__ = ("name", "base", "end")
+
+    def __init__(self, name: str, base: int, end: int) -> None:
+        self.name = name
+        self.base = base
+        #: One past the last secret byte.
+        self.end = end
+
+    @property
+    def size(self) -> int:
+        return self.end - self.base
+
+    def __repr__(self) -> str:
+        return f"SecretRegion({self.name!r}, [{self.base:#x}, {self.end:#x}))"
 
 
 class Function:
@@ -76,6 +103,7 @@ class Binary:
         has_relocations: bool = True,
         single_threaded: bool = True,
         statically_linked: bool = True,
+        secret_symbols: Optional[Set[str]] = None,
     ) -> None:
         self.name = name
         self.text = text
@@ -94,6 +122,8 @@ class Binary:
         self.has_relocations = has_relocations
         self.single_threaded = single_threaded
         self.statically_linked = statically_linked
+        #: Data symbols whose contents are declared secret (taint sources).
+        self.secret_symbols = secret_symbols or set()
 
         self._function_by_name = {f.name: f for f in functions}
         self._function_by_entry = {f.entry: f for f in functions}
@@ -133,6 +163,30 @@ class Binary:
 
     def is_function_entry(self, index: int) -> bool:
         return index in self._function_by_entry
+
+    def secret_regions(self) -> Tuple[SecretRegion, ...]:
+        """Byte ranges of every secret-marked data symbol, address order.
+
+        A symbol's extent runs to the next symbol's address (or to the end
+        of the data section) — alignment padding is charged to the
+        preceding symbol, which only ever widens a secret region.
+        """
+        if not self.secret_symbols:
+            return ()
+        bounds = sorted(self.data_symbols.values())
+        bounds.append(DATA_BASE + len(self.data))
+        regions = []
+        for name in sorted(self.secret_symbols):
+            base = self.data_symbols.get(name)
+            if base is None:
+                raise AssemblyError(
+                    f"{self.name}: secret symbol {name!r} is not a data symbol"
+                )
+            nxt = min((b for b in bounds if b > base),
+                      default=DATA_BASE + len(self.data))
+            regions.append(SecretRegion(name, base, max(nxt, base + 1)))
+        regions.sort(key=lambda r: r.base)
+        return tuple(regions)
 
     # -- size accounting (Table 3) --------------------------------------------------
 

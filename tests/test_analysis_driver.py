@@ -264,6 +264,20 @@ class TestFixturesAndLint:
         assert {f["name"] for f in payload["functions"]} == \
             set(analysis.cfgs)
 
+    def test_jsonable_syscall_reachability_detail(self):
+        analysis = _app_analysis("agrep")
+        payload = json.loads(json.dumps(analysis.to_jsonable()))
+        reach = payload["syscall_reachability"]
+        # Every function appears, mirroring the analysis verbatim.
+        assert set(reach) == set(analysis.syscalls_per_function)
+        for name, nums in analysis.syscalls_per_function.items():
+            assert [e["num"] for e in reach[name]] == sorted(nums)
+        # Entries carry both number and resolved name, sorted by number.
+        main_names = {e["name"] for e in reach["main"]}
+        assert {"open", "read"} <= main_names
+        # A leaf function with no syscalls serializes as an empty list.
+        assert [] in list(reach.values())
+
     def test_text_report_mentions_key_lines(self):
         analysis = _app_analysis("postgres20")
         text = analysis.format_text()
