@@ -35,6 +35,17 @@ Commands
     utilization.  ``--export chrome`` writes a Chrome ``trace_event``
     file that loads directly into Perfetto (https://ui.perfetto.dev).
 
+``fuzz [--budget N] [--seed S] [--jobs N] [--apps A,B] [--scale S]
+[--coverage-report PATH] [--failures-dir DIR] [--max-shrink N]``
+    Chaos fuzzing: generate ``--budget`` randomized fault schedules,
+    run each as a spec-off/spec-on cell under the invariant monitors,
+    print the fault-space coverage ledger, and shrink any failing cell
+    to a minimal reproducer JSON in ``--failures-dir``.
+
+``fuzz replay FILE``
+    Re-run one reproducer JSON (e.g. from ``tests/corpus/``) under the
+    monitors; exits non-zero while the recorded violation still trips.
+
 ``paper``
     Print the paper's published reference numbers.
 """
@@ -420,6 +431,97 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """``repro fuzz``: a chaos campaign, or ``fuzz replay FILE``."""
+    import json as _json
+    import os
+
+    from repro.faults.shrink import Reproducer, shrink_case
+    from repro.harness.fuzz import replay_case, run_fuzz, run_fuzz_case
+
+    if getattr(args, "fuzz_command", None) == "replay":
+        reproducer = Reproducer.load(args.file)
+        result = replay_case(
+            reproducer.case, workload_scale=reproducer.workload_scale
+        )
+        label = reproducer.monitor or "any"
+        print(f"replay {reproducer.case.key} (recorded monitor: {label})")
+        if reproducer.note:
+            print(f"  note: {reproducer.note}")
+        if result.passed:
+            print("  clean: no invariant violations")
+            return 0
+        for violation in result.violations:
+            print(f"  {violation}")
+        return 1
+
+    apps = tuple(a.strip() for a in args.apps.split(",") if a.strip())
+    checkpoint = getattr(args, "checkpoint", None)
+    if checkpoint is None and args.resume:
+        raise ReproError("--resume requires --checkpoint PATH")
+
+    def progress(key: str, resumed: bool) -> None:
+        print(f"  [{'resumed' if resumed else 'ran    '}] {key}")
+
+    report = run_fuzz(
+        args.budget, seed=args.seed, apps=apps, jobs=args.jobs,
+        workload_scale=args.scale, checkpoint_path=checkpoint,
+        resume=args.resume, progress=progress,
+    )
+    print()
+    print(report.ledger.format_text())
+    print()
+    print(report.summary())
+
+    if args.coverage_report is not None:
+        payload = {
+            "seed": report.seed,
+            "budget": report.budget,
+            "digest": report.digest,
+            "passed": report.passed,
+            "coverage": report.ledger.to_jsonable(),
+        }
+        with open(args.coverage_report, "w", encoding="utf-8") as handle:
+            _json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"coverage report written to {args.coverage_report}")
+
+    failures = report.failures()
+    shrinkable = [
+        cell for cell in failures
+        if cell.violations and cell.violations[0].monitor != "supervisor"
+    ]
+    for cell in shrinkable[:args.max_shrink]:
+        monitor = cell.violations[0].monitor
+        print(f"\nshrinking {cell.key} (monitor: {monitor})...")
+
+        def evaluate(candidate):
+            return run_fuzz_case(
+                candidate, workload_scale=args.scale
+            ).violations
+
+        shrunk = shrink_case(cell.case, monitor, evaluate)
+        print(f"  {len(shrunk.events)} fault event(s) remain "
+              f"after {shrunk.evaluations} evaluation(s): "
+              f"{', '.join(shrunk.events) or 'none'}")
+        os.makedirs(args.failures_dir, exist_ok=True)
+        path = os.path.join(
+            args.failures_dir,
+            f"repro-{args.seed}-{shrunk.case.index:04d}.json",
+        )
+        Reproducer(
+            case=shrunk.case,
+            monitor=monitor,
+            detail=str(cell.violations[0]),
+            workload_scale=args.scale,
+            note=f"shrunk from campaign --seed {args.seed} "
+                 f"--budget {args.budget}",
+        ).save(path)
+        print(f"  reproducer written to {path}")
+
+    return 0 if report.passed else 1
+
+
 def cmd_paper(args: argparse.Namespace) -> int:
     print("Published results (Chang & Gibson, OSDI 1999):")
     print("\nFigure 3 - % improvement (speculating / manual):")
@@ -559,6 +661,47 @@ def build_parser() -> argparse.ArgumentParser:
                          help="list the N consumed hints with the longest "
                               "lead times")
     trace_p.set_defaults(func=cmd_trace)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="chaos fuzzing: generated fault schedules under the "
+             "invariant monitors",
+    )
+    fuzz_p.add_argument("--budget", type=int, default=50,
+                        help="number of fault schedules to generate and run")
+    fuzz_p.add_argument("--seed", type=int, default=7,
+                        help="campaign seed; same seed = same schedules, "
+                             "same coverage ledger, same cell digests")
+    fuzz_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="shard fuzz cells across N supervised worker "
+                             "processes (crashed/hung cells quarantined); "
+                             "1 = serial")
+    fuzz_p.add_argument("--apps", default="agrep", metavar="A,B",
+                        help="comma-separated benchmark apps to fuzz")
+    fuzz_p.add_argument("--scale", type=float, default=0.25,
+                        help="workload scale factor per cell")
+    fuzz_p.add_argument("--coverage-report", default=None, metavar="PATH",
+                        dest="coverage_report",
+                        help="write the fault-space coverage ledger and "
+                             "campaign digest as JSON to PATH")
+    fuzz_p.add_argument("--failures-dir", default="fuzz-failures",
+                        metavar="DIR", dest="failures_dir",
+                        help="directory for shrunk reproducer JSONs of "
+                             "failing cells")
+    fuzz_p.add_argument("--max-shrink", type=int, default=3,
+                        metavar="N", dest="max_shrink",
+                        help="shrink at most N failing cells")
+    fuzz_p.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="checkpoint finished cells to PATH")
+    fuzz_p.add_argument("--resume", action="store_true",
+                        help="restore completed cells from --checkpoint")
+    fuzz_p.set_defaults(func=cmd_fuzz, fuzz_command=None)
+    fuzz_sub = fuzz_p.add_subparsers(dest="fuzz_command")
+    replay_p = fuzz_sub.add_parser(
+        "replay", help="re-run one reproducer JSON under the monitors"
+    )
+    replay_p.add_argument("file", help="reproducer JSON (see tests/corpus/)")
+    replay_p.set_defaults(func=cmd_fuzz)
 
     pp_p = sub.add_parser("paper", help="print the paper's numbers")
     pp_p.set_defaults(func=cmd_paper)

@@ -52,6 +52,16 @@ class FaultError(ReproError):
     """
 
 
+class InvalidFaultPlan(FaultError):
+    """A serialized fault plan could not be deserialized.
+
+    Raised by :meth:`repro.faults.plan.FaultPlan.from_jsonable` on unknown
+    keys, wrong value types, or out-of-range rates/windows — a corrupt or
+    hand-edited reproducer file must fail with a typed error naming the
+    offending key, never a bare ``KeyError``.
+    """
+
+
 class DiskFaultError(FaultError):
     """A disk access completed with an injected (transient or offline) error."""
 
@@ -245,6 +255,18 @@ class CellTimeout(SupervisorError):
     reported in worker heartbeats, not by wall-clock guesswork: a slow
     cell whose sim cycles keep advancing is healthy, while one whose
     clock freezes past the stall deadline is killed and rescheduled.
+    """
+
+
+class FuzzError(HarnessError):
+    """Chaos-fuzzing engine misuse or a broken reproducer file.
+
+    Raised for invalid fuzz budgets/apps, unreadable or version-mismatched
+    corpus reproducers, and unknown speculation-parameter override keys.
+    Invariant *violations* found by fuzzing are never raised — they are
+    data (:class:`repro.harness.invariants.Violation` records with
+    structured witnesses) so a campaign can collect, shrink, and report
+    every one of them.
     """
 
 

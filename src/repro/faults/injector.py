@@ -52,10 +52,18 @@ class FaultInjector:
         self.clock = clock
         self.stats = stats
 
+        # One independent derived stream per fault *dimension* (plus one
+        # per disk, forked lazily).  Decisions in one dimension must never
+        # advance another dimension's stream: enabling hint corruption on
+        # a plan that already drops hints leaves the drop schedule — and
+        # every other dimension's schedule — bit-identical.  The
+        # determinism-stability test pins a digest over exactly this.
         root = DeterministicRng(plan.seed, f"faults/{plan.name}")
         self._disk_rngs: Dict[int, DeterministicRng] = {}
         self._root = root
-        self._hint_rng = root.fork("hints")
+        self._hint_drop_rng = root.fork("hints/drop")
+        self._hint_corrupt_rng = root.fork("hints/corrupt")
+        self._hint_garble_rng = root.fork("hints/garble")
         self._spec_rng = root.fork("spec")
 
         # Windows resolved to cycle times once, up front.
@@ -138,15 +146,15 @@ class FaultInjector:
         """
         plan = self.plan
         if plan.hint_drop_rate > 0.0:
-            if self._hint_rng.uniform(0.0, 1.0) < plan.hint_drop_rate:
+            if self._hint_drop_rng.uniform(0.0, 1.0) < plan.hint_drop_rate:
                 self.stats.counter("faults.hints_dropped").add()
                 return None
         if plan.hint_corrupt_rate > 0.0:
-            if self._hint_rng.uniform(0.0, 1.0) < plan.hint_corrupt_rate:
+            if self._hint_corrupt_rng.uniform(0.0, 1.0) < plan.hint_corrupt_rate:
                 self.stats.counter("faults.hints_corrupted").add()
                 span = max(inode.size, BLOCK_SIZE)
-                offset = self._hint_rng.randint(0, 2 * span)
-                length = self._hint_rng.randint(1, span + BLOCK_SIZE)
+                offset = self._hint_garble_rng.randint(0, 2 * span)
+                length = self._hint_garble_rng.randint(1, span + BLOCK_SIZE)
         return offset, length
 
     # -- speculation faults --------------------------------------------------

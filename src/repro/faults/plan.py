@@ -36,8 +36,10 @@ The built-in :data:`PROFILES` are the chaos modes the harness and the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 from typing import Dict, Optional
+
+from repro.errors import InvalidFaultPlan
 
 
 @dataclass(frozen=True)
@@ -131,6 +133,99 @@ class FaultPlan:
     def with_seed(self, seed: int) -> "FaultPlan":
         """The same plan driven by a different fault seed."""
         return replace(self, seed=seed)
+
+    # -- serialization -------------------------------------------------------
+    #
+    # Fault plans travel: into fuzz-cell payloads across the supervised
+    # worker pool, into shrunk reproducer files under tests/corpus/, and
+    # back out of both.  Round-trips must be exact and failures typed —
+    # a hand-edited reproducer with a misspelled key dies with an
+    # InvalidFaultPlan naming the key, never a KeyError.
+
+    def to_jsonable(self) -> Dict[str, object]:
+        """Every field, explicitly — JSON round-trips to an equal plan."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_jsonable(cls, data: object) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_jsonable` output (typed errors)."""
+        if not isinstance(data, dict):
+            raise InvalidFaultPlan(
+                f"fault plan must be a JSON object, got {type(data).__name__}"
+            )
+        known = {f.name: f for f in fields(cls)}
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise InvalidFaultPlan(
+                f"unknown fault plan key(s): {', '.join(unknown)}; "
+                f"expected a subset of: {', '.join(sorted(known))}"
+            )
+        kwargs: Dict[str, object] = {}
+        for name, value in data.items():
+            kind = known[name].type
+            if kind == "str":
+                if not isinstance(value, str):
+                    raise InvalidFaultPlan(
+                        f"fault plan key {name!r} must be a string, "
+                        f"got {type(value).__name__}"
+                    )
+            elif kind == "int":
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise InvalidFaultPlan(
+                        f"fault plan key {name!r} must be an integer, "
+                        f"got {type(value).__name__}"
+                    )
+            else:  # float fields accept ints (JSON writers may emit 0)
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise InvalidFaultPlan(
+                        f"fault plan key {name!r} must be a number, "
+                        f"got {type(value).__name__}"
+                    )
+                value = float(value)
+            kwargs[name] = value
+        plan = cls(**kwargs)  # type: ignore[arg-type]
+        plan.validate()
+        return plan
+
+    def validate(self) -> None:
+        """Reject out-of-range values with a typed error."""
+        for name in ("disk_error_rate", "hint_drop_rate",
+                     "hint_corrupt_rate", "spec_divergence_rate",
+                     "rebuild_share"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise InvalidFaultPlan(
+                    f"fault plan {name}={rate!r} outside [0, 1]"
+                )
+        for name in ("slow_start_s", "slow_duration_s", "offline_start_s",
+                     "offline_duration_s", "dead_at_s", "second_dead_at_s",
+                     "hedge_after_s"):
+            value = getattr(self, name)
+            if value < 0.0:
+                raise InvalidFaultPlan(
+                    f"fault plan {name}={value!r} must be >= 0"
+                )
+        if self.slow_factor <= 0.0:
+            raise InvalidFaultPlan(
+                f"fault plan slow_factor={self.slow_factor!r} must be > 0"
+            )
+        for name in ("offline_disk", "dead_disk", "second_dead_disk"):
+            disk = getattr(self, name)
+            if disk < -1:
+                raise InvalidFaultPlan(
+                    f"fault plan {name}={disk!r} must be a disk id or -1"
+                )
+        if self.second_dead_disk >= 0 and self.dead_disk < 0:
+            raise InvalidFaultPlan(
+                "fault plan sets second_dead_disk without dead_disk "
+                "(a double fault needs a first fault)"
+            )
+        if (self.second_dead_disk >= 0
+                and self.second_dead_disk == self.dead_disk):
+            raise InvalidFaultPlan(
+                f"fault plan second_dead_disk={self.second_dead_disk} "
+                f"must differ from dead_disk"
+            )
 
 
 #: The built-in chaos profiles (see module docstring).

@@ -31,6 +31,21 @@ from repro.harness.supervisor import (
     SupervisorConfig,
     SupervisorOutcome,
 )
+from repro.harness.fuzz import (
+    FuzzCellResult,
+    FuzzReport,
+    replay_case,
+    run_fuzz,
+    run_fuzz_case,
+)
+from repro.harness.invariants import (
+    DEFAULT_MONITORS,
+    CellObservation,
+    InvariantMonitor,
+    VariantObservation,
+    Violation,
+    check_all,
+)
 from repro.harness.oracle import (
     OracleCell,
     OracleReport,
@@ -67,4 +82,15 @@ __all__ = [
     "OracleReport",
     "run_oracle",
     "run_oracle_cell",
+    "FuzzCellResult",
+    "FuzzReport",
+    "replay_case",
+    "run_fuzz",
+    "run_fuzz_case",
+    "DEFAULT_MONITORS",
+    "CellObservation",
+    "InvariantMonitor",
+    "VariantObservation",
+    "Violation",
+    "check_all",
 ]

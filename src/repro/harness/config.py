@@ -66,10 +66,21 @@ class ExperimentConfig:
     #: so one workload can be replayed under many fault sequences).
     fault_seed: int = 7
 
+    #: Chaos mode, literal form: a full :class:`FaultPlan` value (the
+    #: chaos fuzzer runs *generated* plans that exist in no profile
+    #: table).  Mutually exclusive with ``fault_profile``; the plan's own
+    #: seed is used as-is (``fault_seed`` is ignored).
+    fault_plan: Optional[FaultPlan] = None
+
     def __post_init__(self) -> None:
         if self.app not in ALL_APPS:
             raise ValueError(
                 f"unknown app {self.app!r}; expected one of {ALL_APPS}"
+            )
+        if self.fault_profile is not None and self.fault_plan is not None:
+            raise ValueError(
+                "fault_profile and fault_plan are mutually exclusive: "
+                "name a built-in profile or supply a literal plan, not both"
             )
         if self.fault_profile is not None:
             profile(self.fault_profile)  # validate the name early
@@ -77,9 +88,12 @@ class ExperimentConfig:
     def resolved_fault_plan(self) -> Optional[FaultPlan]:
         """The fault plan for this run, or None when fault-free.
 
-        The ``none`` profile also resolves to None so ``--chaos none``
-        keeps the event stream bit-identical to a run without the flag.
+        The ``none`` profile (and an inactive literal plan) also resolve
+        to None so ``--chaos none`` keeps the event stream bit-identical
+        to a run without the flag.
         """
+        if self.fault_plan is not None:
+            return self.fault_plan if self.fault_plan.active else None
         if self.fault_profile is None:
             return None
         plan = profile(self.fault_profile, seed=self.fault_seed)

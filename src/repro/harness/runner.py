@@ -201,7 +201,10 @@ def run_experiment_with_system(
         page_reclaims=process.vmstat.reclaims,
         page_faults=process.vmstat.faults,
     )
-    result.fault_profile = cfg.fault_profile
+    if cfg.fault_plan is not None:
+        result.fault_profile = cfg.fault_plan.name
+    else:
+        result.fault_profile = cfg.fault_profile
     result.read_trace = tuple(process.read_trace)
     result.stall_breakdown = stall_breakdown(system.kernel).to_jsonable()
     lifecycle = getattr(system.manager, "lifecycle", None)
