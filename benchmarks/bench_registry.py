@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Run-registry guard: recording must be (nearly) free, and byte-stable.
+
+The persistent run registry (``--registry``) rides along on every sweep:
+workers append sidecar records, the parent merges and compacts.  Its
+contract has two halves, and this guard makes both a CI failure instead
+of a slow drift:
+
+1. **Overhead.**  Recording a sweep into the registry must cost less
+   than ``TOLERANCE_PCT`` (2%) of the uninstrumented sweep's wall time —
+   the ledger is bookkeeping, not a second workload.  The query side
+   (regression check + similarity search + listing over the freshly
+   written ledger) is held to the same bound.
+2. **Determinism.**  The compacted registry file is content-addressed
+   and sorted, so its bytes are machine-independent; the committed
+   sha256 in ``BENCH_registry.json`` pins them.  Any change means run
+   identity (fingerprints, record schema) moved — update the baseline
+   only for an intentional schema/identity change.
+
+``--quick`` runs a 3-cell grid once and checks determinism only (the
+overhead ratio is reported but not enforced — too noisy at that size);
+``--update-baseline`` records the current digest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.harness.parallel import (  # noqa: E402
+    run_cells_parallel,
+    sweep_parallel_cells,
+)
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_registry.json"
+)
+
+SCALE = 0.2
+TOLERANCE_PCT = 2.0
+META = {"kind": "sweep-cell", "code_version": "bench-registry"}
+
+
+def grid(quick: bool):
+    cells = sweep_parallel_cells("cache", workload_scale=SCALE)
+    return cells[:3] if quick else cells
+
+
+def timed_sweep(cells, registry_path=None) -> float:
+    start = time.perf_counter()
+    outcome = run_cells_parallel(
+        cells, jobs=1,
+        registry_path=registry_path,
+        registry_meta=META if registry_path else None,
+    )
+    elapsed = time.perf_counter() - start
+    if outcome.quarantined or len(outcome.results) != len(cells):
+        raise RuntimeError(
+            f"sweep incomplete: {len(outcome.results)}/{len(cells)} cells, "
+            f"quarantined {sorted(outcome.quarantined)}"
+        )
+    return elapsed
+
+
+def timed_queries(registry_path: str) -> float:
+    from repro.registry.regression import check_all
+    from repro.registry.similarity import similar_runs
+    from repro.registry.store import RunRegistry
+
+    start = time.perf_counter()
+    registry = RunRegistry.open(registry_path)
+    try:
+        records = registry.records()
+        check_all(registry, min_baseline=1)
+        similar_runs(registry, records[0])
+    finally:
+        registry.close()
+    return time.perf_counter() - start
+
+
+def file_digest(path: str) -> str:
+    with open(path, "rb") as handle:
+        return hashlib.sha256(handle.read()).hexdigest()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="3-cell grid, one iteration, determinism only")
+    parser.add_argument("--iterations", type=int, default=2,
+                        help="timing iterations per leg (min is kept)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="record the current registry digest")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline JSON path")
+    args = parser.parse_args(argv)
+
+    cells = grid(args.quick)
+    label = "quick" if args.quick else "full"
+    iterations = 1 if args.quick else max(1, args.iterations)
+    print(f"{label} grid: {len(cells)} cells at scale {SCALE:g}, "
+          f"min of {iterations} iteration(s) per leg")
+
+    plain_s = min(timed_sweep(cells) for _ in range(iterations))
+
+    recorded_s = float("inf")
+    query_s = float("inf")
+    digest = None
+    for _ in range(iterations):
+        with tempfile.TemporaryDirectory() as tmp:
+            registry_path = os.path.join(tmp, "registry.jsonl")
+            recorded_s = min(recorded_s, timed_sweep(cells, registry_path))
+            query_s = min(query_s, timed_queries(registry_path))
+            current = file_digest(registry_path)
+        if digest is not None and current != digest:
+            print("FAIL: registry bytes differ between identical sweeps",
+                  file=sys.stderr)
+            return 1
+        digest = current
+
+    write_pct = 100.0 * (recorded_s - plain_s) / plain_s
+    query_pct = 100.0 * query_s / plain_s
+    print(f"uninstrumented: {plain_s:7.2f} s")
+    print(f"with registry:  {recorded_s:7.2f} s  "
+          f"(write overhead {write_pct:+.2f}%)")
+    print(f"queries:        {query_s:7.3f} s  ({query_pct:.2f}% of a sweep)")
+    print(f"registry digest {digest[:16]}…")
+
+    if args.quick:
+        print(f"overhead guard: skipped (--quick; bound is "
+              f"<{TOLERANCE_PCT:g}% in the full run)")
+    else:
+        for what, pct in (("write", write_pct), ("query", query_pct)):
+            if pct >= TOLERANCE_PCT:
+                print(f"FAIL: registry {what} overhead {pct:.2f}% exceeds "
+                      f"the {TOLERANCE_PCT:g}% bound", file=sys.stderr)
+                return 1
+        print(f"overhead guard: ok (write and query both "
+              f"<{TOLERANCE_PCT:g}%)")
+
+    digest_key = f"registry_digest_{label}"
+    if args.update_baseline:
+        try:
+            with open(args.baseline) as handle:
+                baseline = json.load(handle)
+        except (OSError, ValueError):
+            baseline = {}
+        baseline.update({
+            "workload": f"cache sweep cells, scale={SCALE:g}, serial",
+            "cells_full": len(grid(False)),
+            "cells_quick": len(grid(True)),
+            "tolerance_pct": TOLERANCE_PCT,
+            digest_key: digest,
+        })
+        with open(args.baseline, "w") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated: {args.baseline} ({digest_key})")
+        return 0
+
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        print(f"FAIL: no baseline at {args.baseline}; run with "
+              f"--update-baseline first", file=sys.stderr)
+        return 1
+    expected = baseline.get(digest_key)
+    if expected is None:
+        print(f"FAIL: baseline has no {digest_key!r}; run this mode with "
+              f"--update-baseline", file=sys.stderr)
+        return 1
+    if digest != expected:
+        print(f"FAIL: registry digest {digest} does not match the baseline "
+              f"{expected} — record identity or schema changed; update the "
+              f"baseline if intentional", file=sys.stderr)
+        return 1
+    print("baseline digest: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

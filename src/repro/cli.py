@@ -46,6 +46,16 @@ Commands
     Re-run one reproducer JSON (e.g. from ``tests/corpus/``) under the
     monitors; exits non-zero while the recorded violation still trips.
 
+``runs {list,show,diff,similar,lineage,gc,regressions} --registry PATH``
+    Query the persistent run registry: list and inspect recorded runs,
+    diff two runs, rank past runs by similarity, walk sweep/campaign
+    lineage, prune old populations, and flag performance regressions
+    against each run's matched baseline population (exit 1 on drift).
+    Recording happens via ``--registry PATH`` on ``run`` / ``sweep`` /
+    ``trace`` / ``fuzz``; ``run --auto-tune`` additionally picks
+    speculation parameters from the best similar past run and records
+    replayable provenance (``run --tuned-from RUN``).
+
 ``paper``
     Print the paper's published reference numbers.
 """
@@ -53,6 +63,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -80,6 +91,7 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
     system = SystemConfig(
         array=ArrayParams(ndisks=args.disks),
         ncpus=args.ncpus,
+        seed=getattr(args, "seed", 1999),
     )
     chaos = getattr(args, "chaos", None)
     return ExperimentConfig(
@@ -92,10 +104,87 @@ def _base_config(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def _record_in_registry(
+    registry_path: str,
+    payload: dict,
+    ctx: Optional[dict] = None,
+    announce: bool = True,
+) -> List[str]:
+    """Record one payload in the registry; returns the new run ids."""
+    from repro.registry.recorder import record_payload
+    from repro.registry.store import RunRegistry
+
+    registry = RunRegistry.open(registry_path)
+    try:
+        ids = record_payload(registry, None, payload, ctx)
+        registry.compact()
+    finally:
+        registry.close()
+    if announce and ids:
+        print(f"registry: recorded {ids[0]} in {registry_path}")
+    return ids
+
+
+def _auto_tune(cfg: ExperimentConfig, registry_path: str) -> ExperimentConfig:
+    """``run --auto-tune``: propose speculation tunables from the registry."""
+    from repro.registry.fingerprint import chaos_key
+    from repro.registry.store import RunRegistry
+    from repro.registry.tuner import AutoTuner, apply_proposal
+
+    registry = RunRegistry.open(registry_path)
+    try:
+        proposal = AutoTuner(registry).propose(
+            cfg.app, chaos_key(cfg.fault_profile)
+        )
+    finally:
+        registry.close()
+    if proposal is None:
+        print("auto-tune: registry has no usable past runs; "
+              "keeping default speculation parameters")
+        return cfg
+    print(f"auto-tune: {proposal.basis}")
+    print(f"  source runs: {', '.join(proposal.source_run_ids)}")
+    for name, value in sorted(proposal.spec_params.items()):
+        print(f"  {name} = {value}")
+    return apply_proposal(cfg, proposal)  # type: ignore[return-value]
+
+
+def _tune_from_provenance(
+    cfg: ExperimentConfig, registry_path: str, run_ref: str
+) -> ExperimentConfig:
+    """``run --tuned-from RUN``: replay a recorded tuned configuration."""
+    from repro.errors import RegistryError
+    from repro.registry.store import RunRegistry
+    from repro.registry.tuner import apply_provenance
+
+    registry = RunRegistry.open(registry_path)
+    try:
+        record = registry.find(run_ref)
+    finally:
+        registry.close()
+    if record.tuning is None:
+        raise RegistryError(
+            f"run {record.run_id} carries no tuning provenance; only runs "
+            "recorded with --auto-tune can seed --tuned-from"
+        )
+    print(f"replaying tuning provenance of {record.run_id}")
+    return apply_provenance(cfg, record.tuning)  # type: ignore[return-value]
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     if getattr(args, "oracle", False):
         return _run_oracle(args)
     cfg = _base_config(args).with_(variant=Variant(args.variant))
+    registry_path = getattr(args, "registry", None)
+    if getattr(args, "auto_tune", False) or getattr(args, "tuned_from", None):
+        if registry_path is None:
+            raise ReproError(
+                "--auto-tune and --tuned-from require --registry PATH"
+            )
+    if getattr(args, "tuned_from", None):
+        cfg = _tune_from_provenance(cfg, registry_path, args.tuned_from)
+    elif getattr(args, "auto_tune", False):
+        cfg = _auto_tune(cfg, registry_path)
     trace_out = getattr(args, "trace_out", None)
     if trace_out:
         from repro.sim.clock import SimClock
@@ -154,6 +243,9 @@ def cmd_run(args: argparse.Namespace) -> int:
                 detail = ", ".join(f"{name} {counters[name]}"
                                    for name in sorted(counters))
                 print(f"    disk {disk_id}: {detail}")
+    if registry_path is not None:
+        _record_in_registry(registry_path, result.to_jsonable(),
+                            {"kind": "run"})
     return 0
 
 
@@ -167,7 +259,8 @@ def _run_oracle(args: argparse.Namespace) -> int:
     from repro.harness.oracle import ORACLE_PROFILES, run_oracle
 
     system = SystemConfig(
-        array=ArrayParams(ndisks=args.disks), ncpus=args.ncpus
+        array=ArrayParams(ndisks=args.disks), ncpus=args.ncpus,
+        seed=getattr(args, "seed", 1999),
     )
     chaos = getattr(args, "chaos", None)
     if chaos is not None:
@@ -182,6 +275,7 @@ def _run_oracle(args: argparse.Namespace) -> int:
         system=system,
         trace_dir=getattr(args, "trace_out", None),
         jobs=getattr(args, "jobs", 1),
+        registry_path=getattr(args, "registry", None),
     )
     for cell in report.cells:
         verdict = "ok" if cell.passed else "MISMATCH"
@@ -322,9 +416,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     checkpoint = getattr(args, "checkpoint", None)
     jobs = getattr(args, "jobs", 1)
+    registry = getattr(args, "registry", None)
     if checkpoint is None and getattr(args, "resume", False):
         raise ReproError("--resume requires --checkpoint PATH")
-    if checkpoint is not None or jobs > 1:
+    if checkpoint is not None or jobs > 1 or registry is not None:
         # Crash-safe / parallel path: run cell by cell, checkpointing each
         # result atomically; --resume restores completed cells after a
         # kill; --jobs N shards cells across the supervised worker pool.
@@ -343,6 +438,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             progress=progress,
             jobs=jobs,
             stats_out=stats_out,
+            registry_path=registry,
         )
         if stats_out:
             print(format_supervisor_stats(stats_out))
@@ -428,6 +524,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
         else:
             print("\nno consumed hints recorded "
                   "(original variant, or hint categories filtered out)")
+
+    registry_path = getattr(args, "registry", None)
+    if registry_path is not None:
+        _record_in_registry(
+            registry_path, result.to_jsonable(),
+            {"kind": "run", "trace_summary": analyzer.summary()},
+        )
     return 0
 
 
@@ -467,6 +570,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         args.budget, seed=args.seed, apps=apps, jobs=args.jobs,
         workload_scale=args.scale, checkpoint_path=checkpoint,
         resume=args.resume, progress=progress,
+        registry_path=getattr(args, "registry", None),
     )
     print()
     print(report.ledger.format_text())
@@ -522,6 +626,154 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _runs_list(args: argparse.Namespace, registry) -> int:
+    records = registry.query(
+        app=getattr(args, "app", None),
+        variant=getattr(args, "variant", None),
+        kind=getattr(args, "kind", None),
+        chaos_profile=getattr(args, "chaos", None),
+        limit=getattr(args, "limit", None),
+    )
+    if not records:
+        print("registry is empty (or no record matches the filters)")
+        return 0
+    print(f"  {'run id':24s} {'kind':13s} {'app':10s} {'variant':12s} "
+          f"{'seed':>6} {'chaos':18s} {'cycles':>12}")
+    for record in records:
+        values = record.metric_values()
+        cycles = f"{int(values['elapsed_cycles']):,}" if values else "-"
+        print(f"  {record.run_id:24s} {record.kind:13s} "
+              f"{record.app or '-':10s} {record.variant or '-':12s} "
+              f"{record.seed:>6} {record.chaos_profile:18s} {cycles:>12}")
+    print(f"{len(records)} record(s)")
+    return 0
+
+
+def _runs_show(args: argparse.Namespace, registry) -> int:
+    import json
+
+    record = registry.find(args.run)
+    print(json.dumps(record.to_jsonable(), indent=2, sort_keys=True))
+    return 0
+
+
+def _runs_diff(args: argparse.Namespace, registry) -> int:
+    left = registry.find(args.run_a)
+    right = registry.find(args.run_b)
+    print(f"diff {left.run_id} -> {right.run_id}")
+    for name in ("app", "variant", "kind", "chaos_profile", "params_digest",
+                 "seed", "code_version"):
+        a, b = getattr(left, name), getattr(right, name)
+        marker = " " if a == b else "*"
+        print(f"  {marker} {name:20s} {a!r:>24}  {b!r}")
+    lv, rv = left.metric_values(), right.metric_values()
+    if lv and rv:
+        for metric in sorted(lv):
+            a, b = lv[metric], rv[metric]
+            drift = f"{100.0 * (b - a) / a:+.1f}%" if a else "n/a"
+            print(f"    {metric:26s} {a:>14.1f}  {b:>14.1f}  {drift}")
+    lp = (left.result or {}).get("spec_params") or {}
+    rp = (right.result or {}).get("spec_params") or {}
+    for name in sorted(set(lp) | set(rp)):
+        if lp.get(name) != rp.get(name):
+            print(f"    spec_params.{name}: {lp.get(name)!r} -> "
+                  f"{rp.get(name)!r}")
+    return 0
+
+
+def _runs_similar(args: argparse.Namespace, registry) -> int:
+    from repro.registry.similarity import similar_runs
+
+    target = registry.find(args.run)
+    neighbors = similar_runs(registry, target, limit=args.limit)
+    if not neighbors:
+        print("no other runs in the registry to compare against")
+        return 0
+    print(f"runs most similar to {target.run_id}:")
+    for neighbor in neighbors:
+        print(f"  {neighbor.record.run_id}  score {neighbor.score:.3f}  "
+              f"({'; '.join(neighbor.why)})")
+    return 0
+
+
+def _runs_lineage(args: argparse.Namespace, registry) -> int:
+    view = registry.lineage(args.run)
+
+    def _line(node: dict, depth: int) -> None:
+        label = node.get("cell_key") or node["kind"]
+        prefix = "" if depth == 0 else "  " * depth + "`-> "
+        print(f"{prefix}{node['run_id']}  [{node['kind']}] {label}")
+
+    depth = 0
+    for ancestor in reversed(view["ancestors"]):
+        _line(ancestor, depth)
+        depth += 1
+
+    def _render(node: dict, depth: int) -> None:
+        _line(node, depth)
+        for child in node["children"]:
+            _render(child, depth + 1)
+
+    _render(view["tree"], depth)
+    return 0
+
+
+def _runs_gc(args: argparse.Namespace, registry) -> int:
+    pruned = registry.gc(keep=args.keep, dry_run=args.dry_run)
+    verb = "would prune" if args.dry_run else "pruned"
+    print(f"{verb} {len(pruned)} record(s) "
+          f"(keeping {args.keep} per population)")
+    for run_id in pruned:
+        print(f"  {run_id}")
+    return 0
+
+
+def _runs_regressions(args: argparse.Namespace, registry) -> int:
+    from repro.registry.regression import (
+        check_all,
+        check_run,
+        parse_match_keys,
+    )
+
+    match_keys = parse_match_keys(getattr(args, "match", None))
+    if getattr(args, "run", None):
+        candidate = registry.find(args.run)
+        report = check_run(registry, candidate, match_keys,
+                           min_baseline=args.min_baseline)
+    else:
+        report = check_all(registry, match_keys,
+                           min_baseline=args.min_baseline)
+    print(f"checked {report.checked} run(s) against matched baselines "
+          f"({report.skipped_no_baseline} without a large-enough "
+          f"population; match keys: {','.join(match_keys)})")
+    if report.clean:
+        print("no regressions detected")
+        return 0
+    for finding in report.findings:
+        print(f"  REGRESSION: {finding.describe()}")
+    return 1
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """``repro runs ...``: query the persistent run registry."""
+    from repro.registry.store import RunRegistry
+
+    handlers = {
+        "list": _runs_list,
+        "show": _runs_show,
+        "diff": _runs_diff,
+        "similar": _runs_similar,
+        "lineage": _runs_lineage,
+        "gc": _runs_gc,
+        "regressions": _runs_regressions,
+    }
+    registry = RunRegistry.open(args.registry)
+    try:
+        return handlers[args.runs_command](args, registry)
+    finally:
+        registry.close()
+
+
 def cmd_paper(args: argparse.Namespace) -> int:
     print("Published results (Chang & Gibson, OSDI 1999):")
     print("\nFigure 3 - % improvement (speculating / manual):")
@@ -558,6 +810,12 @@ def build_parser() -> argparse.ArgumentParser:
                             + ", ".join(sorted(PROFILES)))
         p.add_argument("--fault-seed", type=int, default=7, dest="fault_seed",
                        help="seed for the fault decision streams")
+        p.add_argument("--seed", type=int, default=1999,
+                       help="system seed (file layout jitter); vary it to "
+                            "build a baseline population in the registry")
+        p.add_argument("--registry", default=None, metavar="PATH",
+                       help="record this run in the persistent run registry "
+                            "at PATH (.jsonl = append log, else SQLite)")
 
     run_p = sub.add_parser("run", help="run one benchmark variant")
     common(run_p)
@@ -579,6 +837,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with --oracle: directory for JSONL trace dumps "
                             "of any diverging cell (both variants); without: "
                             "write this run's full JSONL trace to PATH")
+    run_p.add_argument("--auto-tune", action="store_true", dest="auto_tune",
+                       help="ask the registry's auto-tuner for speculation "
+                            "parameters learned from similar past runs "
+                            "(requires --registry; provenance is recorded "
+                            "on the result)")
+    run_p.add_argument("--tuned-from", default=None, metavar="RUN",
+                       dest="tuned_from",
+                       help="replay the tuning provenance recorded on past "
+                            "run RUN (id prefix ok; requires --registry)")
     run_p.set_defaults(func=cmd_run)
 
     cmp_p = sub.add_parser("compare", help="compare all variants")
@@ -633,6 +900,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="shard sweep cells across N supervised worker "
                            "processes (crashed/hung cells are rescheduled, "
                            "poisoned cells quarantined); 1 = serial")
+    sw_p.add_argument("--registry", default=None, metavar="PATH",
+                      help="record every sweep cell (plus a sweep lineage "
+                           "record) in the run registry at PATH")
     sw_p.set_defaults(func=cmd_sweep)
 
     trace_p = sub.add_parser(
@@ -695,6 +965,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="checkpoint finished cells to PATH")
     fuzz_p.add_argument("--resume", action="store_true",
                         help="restore completed cells from --checkpoint")
+    fuzz_p.add_argument("--registry", default=None, metavar="PATH",
+                        help="record every fuzz case (plus a campaign "
+                             "lineage record) in the run registry at PATH")
     fuzz_p.set_defaults(func=cmd_fuzz, fuzz_command=None)
     fuzz_sub = fuzz_p.add_subparsers(dest="fuzz_command")
     replay_p = fuzz_sub.add_parser(
@@ -702,6 +975,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay_p.add_argument("file", help="reproducer JSON (see tests/corpus/)")
     replay_p.set_defaults(func=cmd_fuzz)
+
+    runs_p = sub.add_parser(
+        "runs",
+        help="query the persistent run registry (ledger of past runs)",
+    )
+    runs_sub = runs_p.add_subparsers(dest="runs_command", required=True)
+
+    def runs_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--registry", required=True, metavar="PATH",
+                       help="run registry file (.jsonl or SQLite)")
+        p.set_defaults(func=cmd_runs)
+
+    list_p = runs_sub.add_parser("list", help="list recorded runs")
+    runs_common(list_p)
+    list_p.add_argument("--app", default=None, choices=ALL_APPS)
+    list_p.add_argument("--variant", default=None,
+                        help="filter by variant (or 'differential')")
+    list_p.add_argument("--kind", default=None,
+                        help="filter by record kind (run, sweep-cell, ...)")
+    list_p.add_argument("--chaos", default=None, metavar="KEY",
+                        help="filter by chaos key ('none', a profile name, "
+                             "or a fuzz plan key)")
+    list_p.add_argument("--limit", type=int, default=None, metavar="N")
+
+    show_p = runs_sub.add_parser("show", help="dump one record as JSON")
+    runs_common(show_p)
+    show_p.add_argument("run", help="run id (unique prefix ok)")
+
+    diff_p = runs_sub.add_parser(
+        "diff", help="compare identity, metrics and tunables of two runs"
+    )
+    runs_common(diff_p)
+    diff_p.add_argument("run_a", help="run id (unique prefix ok)")
+    diff_p.add_argument("run_b", help="run id (unique prefix ok)")
+
+    sim_p = runs_sub.add_parser(
+        "similar", help="nearest past runs by config + stall profile"
+    )
+    runs_common(sim_p)
+    sim_p.add_argument("run", help="run id (unique prefix ok)")
+    sim_p.add_argument("--limit", type=int, default=5, metavar="N")
+
+    lin_p = runs_sub.add_parser(
+        "lineage", help="show a record's ancestors and descendants"
+    )
+    runs_common(lin_p)
+    lin_p.add_argument("run", help="run id (unique prefix ok)")
+
+    gc_p = runs_sub.add_parser(
+        "gc", help="prune old runs, keeping N per baseline population"
+    )
+    runs_common(gc_p)
+    gc_p.add_argument("--keep", type=int, default=20, metavar="N",
+                      help="records to keep per (app, variant, kind, chaos, "
+                           "params) population")
+    gc_p.add_argument("--dry-run", action="store_true", dest="dry_run",
+                      help="report what would be pruned without writing")
+
+    reg_p = runs_sub.add_parser(
+        "regressions",
+        help="flag runs drifting from their matched baseline population "
+             "(exit 1 when any regression is found)",
+    )
+    runs_common(reg_p)
+    reg_p.add_argument("--run", default=None, metavar="RUN",
+                       help="check only this run (id prefix ok); default: "
+                            "check every leaf run against its own baseline")
+    reg_p.add_argument("--match", default=None, metavar="K1,K2",
+                       help="baseline match keys (subset of "
+                            "app,variant,kind,chaos,params); default: all")
+    reg_p.add_argument("--min-baseline", type=int, default=3,
+                       metavar="N", dest="min_baseline",
+                       help="minimum baseline population size before a "
+                            "metric is judged")
 
     pp_p = sub.add_parser("paper", help="print the paper's numbers")
     pp_p.set_defaults(func=cmd_paper)
@@ -719,6 +1066,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # one line on stderr, exit status 1, no traceback at the user.
         print(f"repro: error: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream closed the pipe (`repro runs show ... | head`).
+        # Point stdout at devnull so interpreter shutdown does not try
+        # to flush the dead pipe and print its own noise.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -282,6 +282,30 @@ class QuarantinedCell(SupervisorError):
 
 
 # ---------------------------------------------------------------------------
+# Run registry
+# ---------------------------------------------------------------------------
+
+class RegistryError(ReproError):
+    """The persistent run registry is corrupt, incompatible, or misused.
+
+    Raised for unknown ``schema_version`` values in serialized
+    :class:`~repro.harness.results.RunResult` payloads and registry
+    records, unreadable registry files, and malformed record fields — a
+    ledger written by a future (or corrupted) version of the code must
+    fail loudly instead of deserializing into silently-wrong records.
+    """
+
+
+class UnknownRunError(RegistryError):
+    """A registry query named a run id (or prefix) that matches no record.
+
+    Also raised for ambiguous prefixes: ``repro runs show`` accepts any
+    unique prefix of a content-addressed run id, and a prefix matching
+    two records is an error, never a silent first-match.
+    """
+
+
+# ---------------------------------------------------------------------------
 # Tracing / observability
 # ---------------------------------------------------------------------------
 

@@ -287,6 +287,8 @@ def run_cells(
     identity: str = "sweep",
     resume: bool = False,
     progress: Optional[Callable[[str, bool], None]] = None,
+    registry_path: Optional[str] = None,
+    registry_meta: Optional[Dict[str, object]] = None,
 ) -> Dict[str, RunResult]:
     """Run a list of (key, thunk) cells with optional checkpointing.
 
@@ -296,6 +298,11 @@ def run_cells(
     ``progress`` (if given) is called with ``(key, was_resumed)`` per cell.
     While a checkpoint is active, SIGINT/SIGTERM flush it before the
     process exits, so an interrupted sweep resumes cleanly.
+
+    With ``registry_path`` set, every cell result (fresh and restored
+    alike — recording is idempotent) is also folded into the persistent
+    run registry under the ``registry_meta`` record context, matching
+    the parallel engine's registry semantics byte for byte.
     """
     checkpoint: Optional[SweepCheckpoint] = None
     if checkpoint_path is not None:
@@ -326,4 +333,12 @@ def run_cells(
                 checkpoint.record(key, result)
             if progress is not None:
                 progress(key, False)
+    if registry_path is not None:
+        from repro.harness.parallel import record_results_in_registry
+
+        record_results_in_registry(
+            registry_path,
+            {key: result.to_jsonable() for key, result in results.items()},
+            registry_meta,
+        )
     return results

@@ -262,6 +262,46 @@ def _cell_thunk(
     return run
 
 
+def sweep_registry_meta(
+    registry_path: str,
+    kind: str,
+    workload_scale: float,
+    identity: str,
+) -> Dict[str, object]:
+    """Write the sweep's group record; returns the cells' record context.
+
+    The group record is pure function of the sweep's identity (no
+    results, no clock), so serial and parallel runs — and re-runs — all
+    produce the same parent run id and deduplicate onto one ledger line.
+    """
+    from repro.registry.fingerprint import code_version
+    from repro.registry.record import RunRecord
+    from repro.registry.store import RunRegistry
+
+    version = code_version()
+    parent = RunRecord(
+        kind="sweep",
+        code_version=version,
+        meta={
+            "identity": identity,
+            "sweep_kind": kind,
+            "workload_scale": workload_scale,
+            "points": [point_label(p) for p in SWEEP_POINTS[kind]],
+        },
+    )
+    registry = RunRegistry.open(registry_path)
+    try:
+        parent_id = registry.record(parent)
+        registry.compact()
+    finally:
+        registry.close()
+    return {
+        "kind": "sweep-cell",
+        "parent_id": parent_id,
+        "code_version": version,
+    }
+
+
 def run_sweep_resumable(
     kind: str,
     workload_scale: float = 1.0,
@@ -271,6 +311,7 @@ def run_sweep_resumable(
     jobs: int = 1,
     supervisor_config: Optional[object] = None,
     stats_out: Optional[Dict[str, object]] = None,
+    registry_path: Optional[str] = None,
 ) -> Dict[SweepPoint, Matrix]:
     """Checkpointed equivalent of the batch sweep drivers.
 
@@ -286,8 +327,16 @@ def run_sweep_resumable(
     every other cell has completed and been checkpointed — the sweep's
     work is preserved, only the assembly of the full matrix fails.
     ``stats_out`` (if given) is filled with the supervisor's counters.
+
+    With ``registry_path`` set, a ``sweep`` group record is written to
+    the persistent run registry and every cell is recorded as a
+    ``sweep-cell`` child of it (lineage for ``repro runs lineage``).
     """
     identity = f"sweep:{kind}:scale={workload_scale:g}"
+    registry_meta: Optional[Dict[str, object]] = None
+    if registry_path is not None:
+        registry_meta = sweep_registry_meta(registry_path, kind,
+                                            workload_scale, identity)
     if jobs > 1:
         from repro.harness.parallel import (
             require_complete,
@@ -302,6 +351,8 @@ def run_sweep_resumable(
             resume=resume,
             progress=progress,
             config=supervisor_config,
+            registry_path=registry_path,
+            registry_meta=registry_meta,
         )
         if stats_out is not None:
             stats_out.update(outcome.stats.to_jsonable())
@@ -315,6 +366,8 @@ def run_sweep_resumable(
             identity=identity,
             resume=resume,
             progress=progress,
+            registry_path=registry_path,
+            registry_meta=registry_meta,
         )
     results: Dict[SweepPoint, Matrix] = {}
     for point in SWEEP_POINTS[kind]:

@@ -129,6 +129,10 @@ class FuzzCellResult:
     digest: str = ""
     cycles: Dict[str, int] = field(default_factory=dict)
     escapes: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: Registry identity keys (see :mod:`repro.registry.fingerprint`),
+    #: stamped by :func:`run_fuzz_case` from the cell's resolved config.
+    params_digest: str = ""
+    seed: int = 0
 
     @property
     def passed(self) -> bool:
@@ -149,6 +153,8 @@ class FuzzCellResult:
             "digest": self.digest,
             "cycles": dict(self.cycles),
             "escapes": dict(self.escapes),
+            "params_digest": self.params_digest,
+            "seed": self.seed,
         }
 
     @classmethod
@@ -164,6 +170,8 @@ class FuzzCellResult:
                     for k, v in dict(data.get("cycles", {})).items()},
             escapes={str(k): (str(v) if v is not None else None)
                      for k, v in dict(data.get("escapes", {})).items()},
+            params_digest=str(data.get("params_digest", "")),
+            seed=int(data.get("seed", 0)),  # type: ignore[call-overload]
         )
 
 
@@ -200,9 +208,17 @@ def run_fuzz_case(
     monitors: Tuple[InvariantMonitor, ...] = DEFAULT_MONITORS,
 ) -> FuzzCellResult:
     """Run one cell (both variants) and judge it with every monitor."""
+    from repro.registry.fingerprint import params_digest as _params_digest
+
     observations: Dict[str, VariantObservation] = {}
+    identity_digest = ""
+    identity_seed = 0
     for variant in (Variant.ORIGINAL, Variant.SPECULATING):
         cfg = case_config(case, variant, workload_scale)
+        # params_digest excludes the variant axis, so either variant's
+        # config yields the same cell identity.
+        identity_digest = _params_digest(cfg)
+        identity_seed = cfg.system.seed
         observations[variant.value] = observe_variant(cfg)
     obs = CellObservation(
         app=case.app,
@@ -224,6 +240,8 @@ def run_fuzz_case(
             name: (type(vobs.error).__name__ if vobs.error else None)
             for name, vobs in sorted(observations.items())
         },
+        params_digest=identity_digest,
+        seed=identity_seed,
     )
 
 
@@ -292,12 +310,17 @@ def run_fuzz(
     resume: bool = False,
     progress: Optional[Callable[[str, bool], None]] = None,
     on_event: Optional[Callable[[str], None]] = None,
+    registry_path: Optional[str] = None,
 ) -> FuzzReport:
     """One fuzz campaign: ``budget`` generated cells over the pool.
 
     Deterministic in ``(budget, seed, apps, workload_scale)``: the
     coverage ledger, every cell digest, and the campaign digest are
     identical whether cells ran serially or sharded across workers.
+
+    With ``registry_path`` set, a ``fuzz-campaign`` group record plus a
+    ``fuzz-case`` record per cell (carrying its invariant-monitor
+    verdicts) land in the persistent run registry.
     """
     for app in apps:
         if app not in ALL_APPS:
@@ -312,6 +335,12 @@ def run_fuzz(
     for case in cases:
         ledger.note(case)
 
+    registry_meta: Optional[Dict[str, object]] = None
+    if registry_path is not None:
+        registry_meta = _fuzz_registry_meta(
+            registry_path, budget, seed, apps, workload_scale,
+        )
+
     cells = [
         (case.key, run_fuzz_cell_payload,
          (case.to_jsonable(), workload_scale))
@@ -321,6 +350,7 @@ def run_fuzz(
         cells, jobs=jobs, checkpoint_path=checkpoint_path,
         identity="fuzz", resume=resume, progress=progress,
         on_event=on_event,
+        registry_path=registry_path, registry_meta=registry_meta,
     )
 
     report = FuzzReport(
@@ -346,6 +376,38 @@ def run_fuzz(
             digest="quarantined",
         ))
     return report
+
+
+def _fuzz_registry_meta(
+    registry_path: str,
+    budget: int,
+    seed: int,
+    apps: Sequence[str],
+    workload_scale: float,
+) -> Dict[str, object]:
+    """Write the campaign's group record; returns the cells' context."""
+    from repro.registry.fingerprint import code_version
+    from repro.registry.record import RunRecord
+    from repro.registry.store import RunRegistry
+
+    version = code_version()
+    parent = RunRecord(
+        kind="fuzz-campaign",
+        code_version=version,
+        meta={
+            "budget": budget,
+            "fuzz_seed": seed,
+            "apps": list(apps),
+            "workload_scale": workload_scale,
+        },
+    )
+    registry = RunRegistry.open(registry_path)
+    try:
+        parent_id = registry.record(parent)
+        registry.compact()
+    finally:
+        registry.close()
+    return {"parent_id": parent_id, "code_version": version}
 
 
 def replay_case(

@@ -95,6 +95,25 @@ class OracleCell:
             cell.speculating = RunResult.from_jsonable(payload["speculating"])  # type: ignore[arg-type]
         return cell
 
+    def to_payload(self) -> Dict[str, object]:
+        """Full serialized form: the parallel result-pipe payload.
+
+        Also the shape the run registry records — the serial and
+        parallel oracle paths both feed this to the recorder, which is
+        what keeps their registries byte-identical.
+        """
+        payload: Dict[str, object] = {
+            "app": self.app,
+            "profile": self.profile,
+            "passed": self.passed,
+            "detail": self.detail,
+        }
+        if self.original is not None:
+            payload["original"] = self.original.to_jsonable()
+        if self.speculating is not None:
+            payload["speculating"] = self.speculating.to_jsonable()
+        return payload
+
     def to_jsonable(self) -> Dict[str, object]:
         entry: Dict[str, object] = {
             "app": self.app,
@@ -238,6 +257,7 @@ def run_oracle(
     analysis_optimize: bool = False,
     trace_dir: Optional[str] = None,
     jobs: int = 1,
+    registry_path: Optional[str] = None,
 ) -> OracleReport:
     """Differential oracle over an app x chaos-profile grid.
 
@@ -251,13 +271,26 @@ def run_oracle(
     report is identical to a serial one.  A cell the supervisor had to
     quarantine (repeated crash/hang) is reported as a failed cell with
     its failure record — an oracle run never silently drops a cell.
+
+    With ``registry_path`` set, an ``oracle`` group record plus one
+    ``oracle-cell`` record per cell (with its two ``oracle-variant``
+    children) land in the persistent run registry, identically for the
+    serial and parallel paths.
     """
+    registry_meta: Optional[Dict[str, object]] = None
+    if registry_path is not None:
+        registry_meta = _oracle_registry_meta(
+            registry_path, apps, profiles, workload_scale, fault_seed,
+        )
     if jobs > 1:
         return _run_oracle_parallel(
             apps, profiles, workload_scale, fault_seed, strict,
             analysis_optimize, trace_dir, jobs, system,
+            registry_path, registry_meta,
         )
     report = OracleReport()
+    payloads: Dict[str, Dict[str, object]] = {}
+    mismatch: Optional[OracleMismatch] = None
     for app in apps:
         for profile in profiles:
             cell = run_oracle_cell(
@@ -267,11 +300,56 @@ def run_oracle(
                 trace_dir=trace_dir,
             )
             report.cells.append(cell)
-            if strict and not cell.passed:
-                raise OracleMismatch(
+            payloads[f"oracle/{app}/{profile or 'fault-free'}"] = (
+                cell.to_payload()
+            )
+            if strict and not cell.passed and mismatch is None:
+                mismatch = OracleMismatch(
                     f"{app} under {cell.profile_name}: {cell.detail}"
                 )
+            if mismatch is not None:
+                break
+        if mismatch is not None:
+            break
+    if registry_path is not None and payloads:
+        from repro.harness.parallel import record_results_in_registry
+
+        record_results_in_registry(registry_path, payloads, registry_meta)
+    if mismatch is not None:
+        raise mismatch
     return report
+
+
+def _oracle_registry_meta(
+    registry_path: str,
+    apps: Sequence[str],
+    profiles: Sequence[Optional[str]],
+    workload_scale: float,
+    fault_seed: int,
+) -> Dict[str, object]:
+    """Write the oracle matrix's group record; returns the cell context."""
+    from repro.registry.fingerprint import code_version
+    from repro.registry.record import RunRecord
+    from repro.registry.store import RunRegistry
+
+    version = code_version()
+    parent = RunRecord(
+        kind="oracle",
+        code_version=version,
+        meta={
+            "apps": list(apps),
+            "profiles": [p or "fault-free" for p in profiles],
+            "workload_scale": workload_scale,
+            "fault_seed": fault_seed,
+        },
+    )
+    registry = RunRegistry.open(registry_path)
+    try:
+        parent_id = registry.record(parent)
+        registry.compact()
+    finally:
+        registry.close()
+    return {"parent_id": parent_id, "code_version": version}
 
 
 def _run_oracle_parallel(
@@ -284,6 +362,8 @@ def _run_oracle_parallel(
     trace_dir: Optional[str],
     jobs: int,
     system: Optional[SystemConfig],
+    registry_path: Optional[str] = None,
+    registry_meta: Optional[Dict[str, object]] = None,
 ) -> OracleReport:
     """Shard oracle cells across the supervised worker pool."""
     from repro.harness.parallel import (
@@ -300,7 +380,9 @@ def _run_oracle_parallel(
             cells.append((key, run_oracle_cell_payload,
                           (app, profile, workload_scale, fault_seed,
                            analysis_optimize, trace_dir, system)))
-    outcome = run_cells_parallel(cells, jobs=jobs, identity="oracle")
+    outcome = run_cells_parallel(cells, jobs=jobs, identity="oracle",
+                                 registry_path=registry_path,
+                                 registry_meta=registry_meta)
 
     report = OracleReport()
     for key, app, profile in keys:  # serial report order, not arrival order

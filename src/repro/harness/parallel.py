@@ -108,17 +108,7 @@ def run_oracle_cell_payload(
         analysis_optimize=analysis_optimize, trace_dir=trace_dir,
         system=system,  # type: ignore[arg-type]
     )
-    payload: Payload = {
-        "app": cell.app,
-        "profile": cell.profile,
-        "passed": cell.passed,
-        "detail": cell.detail,
-    }
-    if cell.original is not None:
-        payload["original"] = cell.original.to_jsonable()
-    if cell.speculating is not None:
-        payload["speculating"] = cell.speculating.to_jsonable()
-    return payload
+    return cell.to_payload()
 
 
 def sweep_parallel_cells(
@@ -209,6 +199,8 @@ def run_cells_parallel(
     progress: Optional[Callable[[str, bool], None]] = None,
     config: Optional[SupervisorConfig] = None,
     on_event: Optional[Callable[[str], None]] = None,
+    registry_path: Optional[str] = None,
+    registry_meta: Optional[Dict[str, object]] = None,
 ) -> SupervisorOutcome:
     """Run cell specs under the supervised pool, checkpointing results.
 
@@ -219,6 +211,15 @@ def run_cells_parallel(
     SIGTERM flush the checkpoint before exiting.  With ``jobs <= 1`` (or
     when the worker pool cannot start) the cells run serially in-process
     with identical results.
+
+    With ``registry_path`` set, every completed cell also lands in the
+    persistent run registry: workers append records to per-slot sidecar
+    ledgers (``<path>.reg-worker-<slot>``) before reporting, the parent
+    merges the sidecars and re-records every delivered payload
+    (idempotent, content-addressed), and the registry is compacted to
+    its canonical byte form — so a serial run and a ``--jobs N`` run of
+    the same cells produce byte-identical registries.  ``registry_meta``
+    carries the record context (kind, parent run id).
     """
     if on_event is None:
         def on_event(message: str) -> None:
@@ -244,6 +245,13 @@ def run_cells_parallel(
                     os.unlink(path)
         merge_worker_partials(checkpoint, on_event=on_event)
 
+    if registry_path is not None and not resume:
+        # Same namespace rule for registry sidecars.  The registry file
+        # itself is an append-forever ledger and is never cleared.
+        for path in _registry_sidecar_paths(registry_path):
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+
     # Restore already-completed cells before any worker spawns.
     restored: Dict[str, Payload] = {}
     remaining: List[CellSpec] = []
@@ -267,13 +275,53 @@ def run_cells_parallel(
                                         config)
         else:
             outcome = _run_cells_supervised(remaining, checkpoint, progress,
-                                            config, identity, on_event)
+                                            config, identity, on_event,
+                                            registry_path, registry_meta)
 
     outcome.results.update(restored)
     outcome.stats.cells_restored = len(restored)
     if checkpoint is not None:
         merge_worker_partials(checkpoint, on_event=on_event)
+    if registry_path is not None:
+        record_results_in_registry(registry_path, outcome.results,
+                                   registry_meta, on_event=on_event)
     return outcome
+
+
+def _registry_sidecar_paths(registry_path: str) -> List[str]:
+    return sorted(glob.glob(glob.escape(registry_path) + ".reg-worker-*"))
+
+
+def record_results_in_registry(
+    registry_path: str,
+    results: Dict[str, Payload],
+    registry_meta: Optional[Dict[str, object]],
+    on_event: Optional[Callable[[str], None]] = None,
+) -> None:
+    """Fold a cell-result set into the persistent run registry.
+
+    Worker sidecar ledgers are merged first (they may hold cells whose
+    parent died before delivery), then every delivered payload is
+    recorded directly — idempotent because records are content-addressed
+    — and the store is compacted to canonical bytes.
+    """
+    from repro.registry.recorder import record_payload
+    from repro.registry.store import RunRegistry, merge_worker_sidecars
+
+    try:
+        registry = RunRegistry.open(registry_path)
+        try:
+            merge_worker_sidecars(registry, registry_path)
+            for key in sorted(results):
+                record_payload(registry, key, results[key], registry_meta,
+                               durable=False)
+            registry.compact()
+        finally:
+            registry.close()
+    except Exception as exc:
+        if on_event is not None:
+            on_event(f"run registry update failed ({exc!r}); "
+                     f"results and checkpoint are unaffected")
 
 
 def _run_cells_supervised(
@@ -283,6 +331,8 @@ def _run_cells_supervised(
     config: SupervisorConfig,
     identity: str,
     on_event: Callable[[str], None],
+    registry_path: Optional[str] = None,
+    registry_meta: Optional[Dict[str, object]] = None,
 ) -> SupervisorOutcome:
     def on_result(key: str, payload: Payload) -> None:
         if checkpoint is not None:
@@ -303,10 +353,21 @@ def _run_cells_supervised(
 
         partial_path_for = _partial_for
 
+    registry_sidecar_for: Optional[Callable[[int], str]] = None
+    if registry_path is not None:
+        from repro.registry.store import sidecar_path
+
+        def _sidecar_for(slot: int) -> str:
+            return sidecar_path(registry_path, slot)
+
+        registry_sidecar_for = _sidecar_for
+
     supervisor = Supervisor(
         cells, config, identity=identity,
         partial_path_for=partial_path_for,
         on_result=on_result, on_quarantine=on_quarantine, on_event=on_event,
+        registry_sidecar_for=registry_sidecar_for,
+        registry_ctx=dict(registry_meta) if registry_meta else None,
     )
     try:
         supervisor.start()

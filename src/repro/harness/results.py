@@ -6,7 +6,18 @@ import base64
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import RegistryError
 from repro.sim import metrics
+
+#: Serialization format version of :meth:`RunResult.to_jsonable`.
+#: Version 1 (implicit, no ``schema_version`` key) predates the run
+#: registry; version 2 adds the registry key fields (``params_digest``,
+#: ``seed``, ``spec_params``) and optional tuning provenance.  Bump on
+#: any incompatible layout change.
+RESULT_SCHEMA_VERSION = 2
+
+#: Versions :meth:`RunResult.from_jsonable` can still deserialize.
+SUPPORTED_RESULT_SCHEMAS = (1, RESULT_SCHEMA_VERSION)
 
 
 @dataclass
@@ -64,6 +75,18 @@ class RunResult:
     hint_lead_median: float = 0.0
     #: % of consumed hints whose prefetch had landed before the demand read.
     pct_prefetches_before_demand: float = 0.0
+
+    #: Run-registry key fields (see :mod:`repro.registry`): a digest of
+    #: the resolved configuration (excluding the system seed, the chaos
+    #: plan, and the variant — those are separate registry keys), the
+    #: system seed the run executed under, and the effective speculation
+    #: tunables (throttle + watchdog) — the knobs the AutoTuner turns.
+    params_digest: str = ""
+    seed: int = 0
+    spec_params: Dict[str, object] = field(default_factory=dict)
+    #: AutoTuner provenance: where ``spec_params`` came from when the run
+    #: was tuned from the registry (None for hand-configured runs).
+    tuning_provenance: Optional[Dict[str, object]] = None
 
     # -- elapsed time ---------------------------------------------------------
 
@@ -278,13 +301,14 @@ class RunResult:
         return shed
 
     def per_disk_io_counters(self) -> Dict[int, Dict[str, int]]:
-        """Per-disk I/O health: retries / timeouts / hedges by disk id.
+        """Per-disk I/O health: retries / timeouts / hedges (issued and
+        won) by disk id.
 
         Parsed back out of the ``disk<N>.<suffix>`` counters; disks with
         no recorded events are absent.
         """
         suffixes = (metrics.DISK_RETRIES_SUFFIX, metrics.DISK_TIMEOUTS_SUFFIX,
-                    metrics.DISK_HEDGES_SUFFIX)
+                    metrics.DISK_HEDGES_SUFFIX, metrics.DISK_HEDGES_WON_SUFFIX)
         table: Dict[int, Dict[str, int]] = {}
         for name, value in self.counters.items():
             if not name.startswith(metrics.DISK_PREFIX) or not value:
@@ -325,6 +349,7 @@ class RunResult:
         re-running the transform and is not needed to resume a sweep).
         """
         return {
+            "schema_version": RESULT_SCHEMA_VERSION,
             "app": self.app,
             "variant": self.variant,
             "cycles": self.cycles,
@@ -353,11 +378,31 @@ class RunResult:
             "hint_lifecycle": dict(self.hint_lifecycle),
             "hint_lead_median": self.hint_lead_median,
             "pct_prefetches_before_demand": self.pct_prefetches_before_demand,
+            "params_digest": self.params_digest,
+            "seed": self.seed,
+            "spec_params": dict(self.spec_params),
+            "tuning_provenance": (dict(self.tuning_provenance)
+                                  if self.tuning_provenance is not None
+                                  else None),
         }
 
     @classmethod
     def from_jsonable(cls, data: Dict[str, object]) -> "RunResult":
-        """Rebuild a result from :meth:`to_jsonable` output."""
+        """Rebuild a result from :meth:`to_jsonable` output.
+
+        Version-1 payloads (pre-registry, no ``schema_version`` key) are
+        accepted for backward compatibility with old checkpoints; any
+        other unknown version raises a typed
+        :class:`~repro.errors.RegistryError` — a payload written by a
+        future format must never deserialize silently.
+        """
+        version = data.get("schema_version", 1)
+        if version not in SUPPORTED_RESULT_SCHEMAS:
+            raise RegistryError(
+                f"RunResult payload has schema_version {version!r}; this "
+                f"code reads versions {SUPPORTED_RESULT_SCHEMAS} — the "
+                f"payload was written by an incompatible code version"
+            )
         result = cls(
             app=str(data["app"]),
             variant=str(data["variant"]),
@@ -402,6 +447,12 @@ class RunResult:
         result.pct_prefetches_before_demand = float(
             data.get("pct_prefetches_before_demand", 0.0)  # type: ignore[arg-type]
         )
+        result.params_digest = str(data.get("params_digest", ""))
+        result.seed = int(data.get("seed", 0))  # type: ignore[arg-type]
+        result.spec_params = dict(data.get("spec_params", {}))  # type: ignore[arg-type]
+        provenance = data.get("tuning_provenance")
+        result.tuning_provenance = (dict(provenance)  # type: ignore[arg-type]
+                                    if provenance is not None else None)
         return result
 
 

@@ -18,6 +18,7 @@ from repro.harness.config import ExperimentConfig, Variant
 from repro.harness.results import RunResult, median_interval
 from repro.kernel.kernel import Kernel
 from repro.params import SystemConfig
+from repro.registry.fingerprint import params_digest, spec_tunables
 from repro.sim import metrics
 from repro.sim.clock import SimClock
 from repro.sim.engine import EventEngine
@@ -205,6 +206,13 @@ def run_experiment_with_system(
         result.fault_profile = cfg.fault_plan.name
     else:
         result.fault_profile = cfg.fault_profile
+    # Registry identity: everything the run ledger keys on must be stamped
+    # on the result itself, so a payload shipped back from a worker process
+    # carries its own keys (the recorder never sees the config).
+    result.params_digest = params_digest(cfg)
+    result.seed = system_config.seed
+    result.spec_params = spec_tunables(system_config.spechint)
+    result.tuning_provenance = cfg.tuning_provenance
     result.read_trace = tuple(process.read_trace)
     result.stall_breakdown = stall_breakdown(system.kernel).to_jsonable()
     lifecycle = getattr(system.manager, "lifecycle", None)

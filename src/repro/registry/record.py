@@ -1,0 +1,193 @@
+"""Registry record schema: one ledger line per recorded run.
+
+A :class:`RunRecord` is the unit the registry stores.  Its identity — the
+``run_id`` — is the truncated SHA-256 of its canonical JSON content, so:
+
+* the id carries no wall-clock, hostname, pid or ordering noise, which is
+  what makes a serial sweep and a ``--jobs 4`` sweep write byte-identical
+  registries;
+* re-running the exact same experiment (same seed, same code) produces
+  the *same* record and deduplicates to one ledger line, which is why the
+  regression detector stays silent across two identical-seed runs;
+* a hand-edited ledger line fails loudly on load (the stored id no longer
+  matches the recomputed one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import RegistryError
+from repro.registry.fingerprint import digest_of
+from repro.sim import metrics
+
+#: Version of the *record* envelope (independent of the RunResult payload
+#: schema, which carries its own ``schema_version``).
+REGISTRY_SCHEMA_VERSION = 1
+
+#: Record kinds.  Leaf kinds carry a result payload; group kinds are
+#: lineage parents (a sweep, an oracle matrix, a fuzz campaign).
+LEAF_KINDS = (
+    "run",
+    "sweep-cell",
+    "chaos-cell",
+    "oracle-variant",
+    "fuzz-case",
+)
+GROUP_KINDS = ("sweep", "chaos-sweep", "oracle", "oracle-cell", "fuzz-campaign")
+KINDS = LEAF_KINDS + GROUP_KINDS
+
+#: Length of a full run id (hex chars of truncated SHA-256).
+RUN_ID_LENGTH = 24
+
+
+@dataclass
+class RunRecord:
+    """One registry entry.
+
+    ``result`` holds a full ``RunResult.to_jsonable()`` payload for plain
+    runs and sweep cells, a fuzz-cell payload for ``fuzz-case`` records,
+    and an outcome summary for group kinds.  ``verdicts`` holds invariant
+    -monitor violations (jsonable ``Violation`` records) for fuzz cases
+    and oracle mismatch details.
+    """
+
+    app: str = ""
+    variant: str = ""
+    kind: str = "run"
+    params_digest: str = ""
+    seed: int = 0
+    chaos_profile: str = "none"
+    code_version: str = ""
+    parent_id: Optional[str] = None
+    #: Harness cell key (checkpoint key) for cells; None for plain runs.
+    cell_key: Optional[str] = None
+    result: Optional[Dict[str, object]] = None
+    trace_summary: Optional[Dict[str, object]] = None
+    verdicts: List[Dict[str, object]] = field(default_factory=list)
+    #: AutoTuner provenance, copied out of the result for direct querying.
+    tuning: Optional[Dict[str, object]] = None
+    #: Free-form extras (sweep grids, campaign budgets, identities).
+    meta: Dict[str, object] = field(default_factory=dict)
+    run_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise RegistryError(
+                f"unknown record kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if not self.run_id:
+            self.run_id = self.compute_run_id()
+
+    # -- identity ----------------------------------------------------------
+
+    def content(self) -> Dict[str, object]:
+        """Everything the run id hashes (all fields except the id)."""
+        return {
+            "app": self.app,
+            "variant": self.variant,
+            "kind": self.kind,
+            "params_digest": self.params_digest,
+            "seed": self.seed,
+            "chaos_profile": self.chaos_profile,
+            "code_version": self.code_version,
+            "parent_id": self.parent_id,
+            "cell_key": self.cell_key,
+            "result": self.result,
+            "trace_summary": self.trace_summary,
+            "verdicts": self.verdicts,
+            "tuning": self.tuning,
+            "meta": self.meta,
+        }
+
+    def compute_run_id(self) -> str:
+        return digest_of(self.content(), length=RUN_ID_LENGTH)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_jsonable(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "schema_version": REGISTRY_SCHEMA_VERSION,
+            "run_id": self.run_id,
+        }
+        data.update(self.content())
+        return data
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, object]) -> "RunRecord":
+        version = data.get("schema_version", None)
+        if version != REGISTRY_SCHEMA_VERSION:
+            raise RegistryError(
+                f"registry record has schema_version {version!r}; this code "
+                f"reads version {REGISTRY_SCHEMA_VERSION} — refusing to "
+                "guess at an unknown record layout"
+            )
+        record = cls(
+            app=str(data.get("app", "")),
+            variant=str(data.get("variant", "")),
+            kind=str(data.get("kind", "run")),
+            params_digest=str(data.get("params_digest", "")),
+            seed=int(data.get("seed", 0)),  # type: ignore[arg-type]
+            chaos_profile=str(data.get("chaos_profile", "none")),
+            code_version=str(data.get("code_version", "")),
+            parent_id=data.get("parent_id"),  # type: ignore[arg-type]
+            cell_key=data.get("cell_key"),  # type: ignore[arg-type]
+            result=data.get("result"),  # type: ignore[arg-type]
+            trace_summary=data.get("trace_summary"),  # type: ignore[arg-type]
+            verdicts=list(data.get("verdicts") or []),  # type: ignore[arg-type]
+            tuning=data.get("tuning"),  # type: ignore[arg-type]
+            meta=dict(data.get("meta") or {}),  # type: ignore[arg-type]
+        )
+        stored = data.get("run_id")
+        if stored is not None and stored != record.run_id:
+            raise RegistryError(
+                f"registry record {stored!r} fails its content check "
+                f"(recomputed {record.run_id}); the ledger line was "
+                "corrupted or hand-edited"
+            )
+        return record
+
+    # -- derived metrics ---------------------------------------------------
+
+    def metric_values(self) -> Optional[Dict[str, float]]:
+        """The regression-detector metrics, or None for group records.
+
+        ``elapsed_cycles`` uses the workload-completion mark when a
+        rebuild drain outlived the workload (so chaos runs compare
+        demand-path slowdown, not drain tails), falling back to total
+        cycles.  ``wasted_prefetch_fraction`` is wasted/disclosed from
+        the hint-lifecycle ledger; ``hint_lead_median`` is in cycles.
+        """
+        payload = self.result
+        if payload is None:
+            return None
+        # Fuzz cells store per-variant cycles as a mapping; only a plain
+        # RunResult payload (scalar cycles) carries comparable metrics.
+        if not isinstance(payload.get("cycles"), (int, float)):
+            return None
+        counters = payload.get("counters") or {}
+        cycles = float(
+            counters.get(  # type: ignore[union-attr]
+                metrics.WORKLOAD_COMPLETED_CYCLE, payload["cycles"]
+            )
+        )
+        lifecycle = payload.get("hint_lifecycle") or {}
+        disclosed = float(lifecycle.get("disclosed", 0) or 0)  # type: ignore[union-attr]
+        wasted = float(lifecycle.get("wasted", 0) or 0)  # type: ignore[union-attr]
+        return {
+            "elapsed_cycles": cycles,
+            "hint_lead_median": float(payload.get("hint_lead_median", 0.0) or 0.0),
+            "wasted_prefetch_fraction": wasted / disclosed if disclosed > 0 else 0.0,
+        }
+
+
+def group_key(record: RunRecord) -> Tuple[str, str, str, str, str]:
+    """The default population key: runs that are fair to compare."""
+    return (
+        record.app,
+        record.variant,
+        record.kind,
+        record.chaos_profile,
+        record.params_digest,
+    )

@@ -1,0 +1,189 @@
+"""Closed-loop speculation tuning from the run registry.
+
+The AutoTuner closes the observability loop: query the registry for past
+runs similar to the one about to start, take the speculation tunables
+(throttle + watchdog knobs, :data:`TUNABLE_SPEC_PARAMS`) from the best
+of them, and stamp *provenance* — which runs the values came from and
+why — into the new run's config.  The provenance record alone is enough
+to rebuild the tuned configuration, so a tuned run replays
+byte-identically from its registry record with no tuner (or registry)
+present.
+
+Ranking is deliberately boring and deterministic: among healthy similar
+runs (no isolation violations, watchdog never tripped), lowest elapsed
+workload cycles wins, with the content-addressed run id as the tiebreak.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import RegistryError
+from repro.registry.fingerprint import TUNABLE_SPEC_PARAMS, code_version
+from repro.registry.record import LEAF_KINDS, RunRecord
+from repro.registry.store import RunRegistry
+
+PROVENANCE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TuningProposal:
+    """Parameters the tuner picked, plus where they came from."""
+
+    spec_params: Mapping[str, object]
+    source_run_ids: Tuple[str, ...]
+    basis: str
+    app: str
+    chaos_profile: str
+
+    def to_provenance(self) -> Dict[str, object]:
+        return {
+            "provenance_version": PROVENANCE_VERSION,
+            "app": self.app,
+            "chaos_profile": self.chaos_profile,
+            "spec_params": dict(self.spec_params),
+            "source_run_ids": list(self.source_run_ids),
+            "basis": self.basis,
+            "code_version": code_version(),
+        }
+
+
+def validate_spec_params(params: Mapping[str, object]) -> Dict[str, object]:
+    """Reject provenance naming tunables this code does not know."""
+    unknown = sorted(set(params) - set(TUNABLE_SPEC_PARAMS))
+    if unknown:
+        raise RegistryError(
+            f"tuning provenance names unknown speculation parameter(s): "
+            f"{', '.join(unknown)}; this code tunes {TUNABLE_SPEC_PARAMS}"
+        )
+    return dict(params)
+
+
+def _healthy(record: RunRecord) -> bool:
+    payload = record.result or {}
+    if payload.get("isolation_violations"):
+        return False
+    if payload.get("watchdog_tripped"):
+        return False
+    return True
+
+
+def _workload_cycles(record: RunRecord) -> float:
+    values = record.metric_values()
+    return values["elapsed_cycles"] if values else float("inf")
+
+
+class AutoTuner:
+    """Proposes speculation tunables from similar past runs."""
+
+    def __init__(self, registry: RunRegistry) -> None:
+        self.registry = registry
+
+    def candidates(
+        self, app: str, chaos_profile: str = "none"
+    ) -> List[RunRecord]:
+        """Healthy past speculating runs of this app, best-match first.
+
+        Runs under the same chaos profile rank ahead of fault-free runs,
+        which rank ahead of everything else; within a tier, fastest
+        workload first.
+        """
+        pool = [
+            record
+            for record in self.registry.query(app=app, variant="speculating")
+            if record.kind in LEAF_KINDS
+            and record.result is not None
+            and (record.result or {}).get("spec_params")
+            and _healthy(record)
+        ]
+
+        def tier(record: RunRecord) -> int:
+            if record.chaos_profile == chaos_profile:
+                return 0
+            if record.chaos_profile == "none":
+                return 1
+            return 2
+
+        pool.sort(key=lambda r: (tier(r), _workload_cycles(r), r.run_id))
+        return pool
+
+    def propose(
+        self, app: str, chaos_profile: str = "none"
+    ) -> Optional[TuningProposal]:
+        """The tuner's pick, or None when the registry has no basis."""
+        pool = self.candidates(app, chaos_profile)
+        if not pool:
+            return None
+        best = pool[0]
+        spec_params = validate_spec_params(
+            {
+                name: value
+                for name, value in (best.result or {}).get("spec_params", {}).items()  # type: ignore[union-attr]
+                if name in TUNABLE_SPEC_PARAMS
+            }
+        )
+        # Credit every considered run that ran with the winning values.
+        sources = tuple(
+            record.run_id
+            for record in pool
+            if (record.result or {}).get("spec_params") == (best.result or {}).get("spec_params")
+        )[:5]
+        tier_name = (
+            f"chaos profile {chaos_profile!r}"
+            if best.chaos_profile == chaos_profile
+            else f"fallback from chaos profile {best.chaos_profile!r}"
+        )
+        basis = (
+            f"lowest elapsed workload cycles among {len(pool)} healthy "
+            f"speculating {app} run(s), {tier_name}"
+        )
+        return TuningProposal(
+            spec_params=spec_params,
+            source_run_ids=sources,
+            basis=basis,
+            app=app,
+            chaos_profile=chaos_profile,
+        )
+
+
+def apply_spec_params(cfg: object, spec_params: Mapping[str, object],
+                      provenance: Mapping[str, object]) -> object:
+    """Return ``cfg`` with tuned spechint knobs and provenance stamped.
+
+    Duck-typed over :class:`~repro.harness.config.ExperimentConfig`
+    (this package must not import the harness): anything with
+    ``system``/``with_`` works.
+    """
+    params = validate_spec_params(spec_params)
+    system = cfg.system  # type: ignore[attr-defined]
+    spechint = dataclasses.replace(system.spechint, **params)
+    return cfg.with_(  # type: ignore[attr-defined]
+        system=system.replace(spechint=spechint),
+        tuning_provenance=dict(provenance),
+    )
+
+
+def apply_proposal(cfg: object, proposal: TuningProposal) -> object:
+    """Apply a fresh proposal to a config."""
+    return apply_spec_params(cfg, proposal.spec_params, proposal.to_provenance())
+
+
+def apply_provenance(cfg: object, provenance: Mapping[str, object]) -> object:
+    """Rebuild a tuned config from a recorded provenance dict (replay).
+
+    Applying the provenance recorded on a tuned run to the same base
+    config reproduces that run's configuration exactly — the replay path
+    the acceptance test drives.
+    """
+    version = provenance.get("provenance_version")
+    if version != PROVENANCE_VERSION:
+        raise RegistryError(
+            f"tuning provenance version {version!r} not supported "
+            f"(this code reads version {PROVENANCE_VERSION})"
+        )
+    spec_params = provenance.get("spec_params")
+    if not isinstance(spec_params, Mapping):
+        raise RegistryError("tuning provenance has no spec_params mapping")
+    return apply_spec_params(cfg, spec_params, provenance)

@@ -163,3 +163,4 @@ DISK_PREFIX = "disk"
 DISK_RETRIES_SUFFIX = "retries"
 DISK_TIMEOUTS_SUFFIX = "timeouts"
 DISK_HEDGES_SUFFIX = "hedges"
+DISK_HEDGES_WON_SUFFIX = "hedges_won"

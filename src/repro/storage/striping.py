@@ -488,6 +488,10 @@ class StripedArray:
         request.failed = False
         request.reconstructed = True
         self.stats.counter(metrics.ARRAY_HEDGES_WON).add()
+        self.stats.counter(
+            f"{metrics.DISK_PREFIX}{request.disk_id}."
+            f"{metrics.DISK_HEDGES_WON_SUFFIX}"
+        ).add()
         self._notify(request)
 
     def _hedge_failed(self, request: IORequest) -> None:

@@ -126,6 +126,25 @@ class TestDeterminism:
         parallel = run_cells_parallel(cells, jobs=2, config=FAST)
         assert canonical(serial.results) == canonical(parallel.results)
 
+    def test_parallel_registry_byte_identical_to_serial(self, tmp_path):
+        import glob
+
+        cells = sweep_parallel_cells("cache", workload_scale=0.2)[:4]
+        serial_reg = str(tmp_path / "serial-registry.jsonl")
+        parallel_reg = str(tmp_path / "parallel-registry.jsonl")
+        meta = {"kind": "sweep-cell", "code_version": "repro-test"}
+        run_cells_parallel(cells, jobs=1,
+                           registry_path=serial_reg, registry_meta=meta)
+        run_cells_parallel(cells, jobs=4, config=FAST,
+                           registry_path=parallel_reg, registry_meta=meta)
+        with open(serial_reg, "rb") as handle:
+            serial_bytes = handle.read()
+        with open(parallel_reg, "rb") as handle:
+            parallel_bytes = handle.read()
+        assert serial_bytes == parallel_bytes
+        # Worker sidecar ledgers must be merged away, not left behind.
+        assert glob.glob(parallel_reg + ".reg-worker-*") == []
+
     def test_parallel_checkpoint_file_matches_serial(self, tmp_path):
         cells = sweep_parallel_cells("cache", workload_scale=0.2)[:4]
         serial_path = str(tmp_path / "serial.ckpt")
